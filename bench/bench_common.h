@@ -1,0 +1,89 @@
+// Shared scaffolding for the figure benches: the standard "Sun-like"
+// web-log dataset (the paper runs Figs. 5-9 on the Sun data), cached
+// brute-force ground truth, and S-curve rendering helpers.
+
+#ifndef SANS_BENCH_BENCH_COMMON_H_
+#define SANS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "data/weblog_generator.h"
+#include "eval/metrics.h"
+#include "eval/scurve.h"
+#include "eval/table_printer.h"
+#include "mine/brute_force.h"
+#include "util/status.h"
+
+namespace sans::bench {
+
+/// The evaluation dataset shared by Figs. 5-9: a scaled Sun-like web
+/// log. SANS_BENCH_SCALE=small shrinks it for smoke runs.
+struct WeblogBench {
+  WeblogDataset dataset;
+  GroundTruth truth;
+};
+
+inline bool SmallScale() {
+  const char* scale = std::getenv("SANS_BENCH_SCALE");
+  return scale != nullptr && std::string(scale) == "small";
+}
+
+inline WeblogBench MakeWeblogBench() {
+  WeblogConfig config;
+  if (SmallScale()) {
+    config.num_clients = 4'000;
+    config.num_urls = 400;
+    config.num_bundles = 15;
+  } else {
+    // The paper's Sun data: ~13,000 URLs x 0.2M client IPs.
+    config.num_clients = 200'000;
+    config.num_urls = 13'000;
+    config.num_bundles = 400;
+  }
+  config.seed = 2000;
+  auto dataset = GenerateWeblog(config);
+  SANS_CHECK(dataset.ok());
+  auto pairs = BruteForceAllNonzeroPairs(dataset->matrix);
+  SANS_CHECK(pairs.ok());
+  std::fprintf(stderr,
+               "[bench] weblog: %u clients x %u urls, %llu ones, "
+               "%zu nonzero pairs\n",
+               dataset->matrix.num_rows(), dataset->matrix.num_cols(),
+               static_cast<unsigned long long>(dataset->matrix.num_ones()),
+               pairs->size());
+  return WeblogBench{std::move(dataset).value(), GroundTruth(*pairs)};
+}
+
+/// Renders one S-curve as a table column block: ratio per bin.
+inline void PrintSCurves(const std::string& title,
+                         const std::vector<std::string>& labels,
+                         const std::vector<SCurve>& curves) {
+  SANS_CHECK(!curves.empty());
+  SANS_CHECK_EQ(labels.size(), curves.size());
+  std::printf("\n%s\n", title.c_str());
+  std::vector<std::string> headers = {"similarity", "actual"};
+  for (const std::string& label : labels) headers.push_back(label);
+  TablePrinter table(headers);
+  const SCurve& first = curves[0];
+  for (size_t bin = 0; bin < first.bin_center.size(); ++bin) {
+    if (first.actual[bin] == 0) continue;
+    std::vector<std::string> row = {
+        TablePrinter::Fixed(first.bin_center[bin], 3),
+        TablePrinter::Int(first.actual[bin])};
+    for (const SCurve& curve : curves) {
+      row.push_back(curve.actual[bin] == 0
+                        ? std::string("-")
+                        : TablePrinter::Fixed(curve.Ratio(bin), 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace sans::bench
+
+#endif  // SANS_BENCH_BENCH_COMMON_H_

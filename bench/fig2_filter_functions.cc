@@ -1,0 +1,72 @@
+// Fig. 2 reproduction: (a) the banded filter P_{r,l}(s) sharpening
+// toward a unit step as r = l grows; (b) the sampled approximation
+// Q_{20,20,40}(s) tracking P_{20,20}(s) with only 40 min-hash values.
+
+#include <cstdio>
+#include <iostream>
+
+#include "eval/table_printer.h"
+#include "lsh/filter_functions.h"
+
+int main() {
+  std::printf("=== Fig. 2a: P_{r,l}(s) = 1 - (1 - s^r)^l, r = l ===\n");
+  {
+    sans::TablePrinter table(
+        {"s", "P_{3,3}", "P_{5,5}", "P_{10,10}", "P_{20,20}", "P_{40,40}"});
+    for (int step = 0; step <= 20; ++step) {
+      const double s = step / 20.0;
+      table.AddRow({
+          sans::TablePrinter::Fixed(s, 2),
+          sans::TablePrinter::Fixed(sans::BandCollisionProbability(s, 3, 3),
+                                    4),
+          sans::TablePrinter::Fixed(sans::BandCollisionProbability(s, 5, 5),
+                                    4),
+          sans::TablePrinter::Fixed(
+              sans::BandCollisionProbability(s, 10, 10), 4),
+          sans::TablePrinter::Fixed(
+              sans::BandCollisionProbability(s, 20, 20), 4),
+          sans::TablePrinter::Fixed(
+              sans::BandCollisionProbability(s, 40, 40), 4),
+      });
+    }
+    table.Print(std::cout);
+    std::printf("effective thresholds (P = 1/2): r=l=3: %.3f  r=l=20: "
+                "%.3f  r=l=40: %.3f\n",
+                sans::BandThreshold(3, 3), sans::BandThreshold(20, 20),
+                sans::BandThreshold(40, 40));
+  }
+
+  std::printf("\n=== Fig. 2b: Q_{20,20,40} approximating P_{20,20} "
+              "(only 40 min-hash values vs 400) ===\n");
+  {
+    sans::TablePrinter table(
+        {"s", "P_{20,20}", "Q_{20,20,40}", "Q_{20,20,100}",
+         "Q_{20,20,400}"});
+    double max_err_40 = 0.0;
+    double max_err_400 = 0.0;
+    for (int step = 0; step <= 20; ++step) {
+      const double s = step / 20.0;
+      const double p = sans::BandCollisionProbability(s, 20, 20);
+      const double q40 =
+          sans::SampledBandCollisionProbability(s, 20, 20, 40);
+      const double q100 =
+          sans::SampledBandCollisionProbability(s, 20, 20, 100);
+      const double q400 =
+          sans::SampledBandCollisionProbability(s, 20, 20, 400);
+      max_err_40 = std::max(max_err_40, std::abs(q40 - p));
+      max_err_400 = std::max(max_err_400, std::abs(q400 - p));
+      table.AddRow({
+          sans::TablePrinter::Fixed(s, 2),
+          sans::TablePrinter::Fixed(p, 4),
+          sans::TablePrinter::Fixed(q40, 4),
+          sans::TablePrinter::Fixed(q100, 4),
+          sans::TablePrinter::Fixed(q400, 4),
+      });
+    }
+    table.Print(std::cout);
+    std::printf("max |Q - P|: k=40: %.4f, k=400: %.4f (Q converges to P "
+                "as k grows; P is always sharper)\n",
+                max_err_40, max_err_400);
+  }
+  return 0;
+}

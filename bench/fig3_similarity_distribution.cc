@@ -1,0 +1,86 @@
+// Fig. 3 reproduction: the similarity distribution of the (simulated)
+// Sun web-log data. (a) the full histogram, dominated by a huge mass
+// of barely-similar pairs; (b) the zoom on similarities >= 0.1 where
+// the planted gif/applet bundle pairs form a heavy tail near 1.0.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/table_printer.h"
+#include "lsh/distribution_estimator.h"
+
+int main() {
+  const sans::bench::WeblogBench bench = sans::bench::MakeWeblogBench();
+  const sans::BinaryMatrix& matrix = bench.dataset.matrix;
+
+  auto pairs = sans::BruteForceAllNonzeroPairs(matrix);
+  SANS_CHECK(pairs.ok());
+  const auto histogram_of = [&](int bins, double floor) {
+    std::vector<uint64_t> histogram(bins, 0);
+    const double width = (1.0 - floor) / bins;
+    for (const sans::SimilarPair& p : *pairs) {
+      if (p.similarity < floor) continue;
+      int bin = static_cast<int>((p.similarity - floor) / width);
+      if (bin >= bins) bin = bins - 1;
+      ++histogram[bin];
+    }
+    return histogram;
+  };
+
+  std::printf("=== Fig. 3a: similarity distribution (all nonzero "
+              "pairs) ===\n");
+  {
+    const int bins = 20;
+    const std::vector<uint64_t> histogram = histogram_of(bins, 0.0);
+    sans::TablePrinter table({"similarity range", "pairs"});
+    for (int b = 0; b < bins; ++b) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "[%.2f, %.2f)",
+                    static_cast<double>(b) / bins,
+                    static_cast<double>(b + 1) / bins);
+      table.AddRow({label, sans::TablePrinter::Int(histogram[b])});
+    }
+    table.Print(std::cout);
+  }
+
+  std::printf("\n=== Fig. 3b: zoom on the interesting region "
+              "(similarity >= 0.1) ===\n");
+  {
+    const int bins = 45;
+    const std::vector<uint64_t> histogram = histogram_of(bins, 0.1);
+    sans::TablePrinter table({"similarity", "pairs"});
+    for (int b = 0; b < bins; ++b) {
+      if (histogram[b] == 0) continue;
+      table.AddRow({sans::TablePrinter::Fixed(0.1 + (b + 0.5) * 0.02, 2),
+                    sans::TablePrinter::Int(histogram[b])});
+    }
+    table.Print(std::cout);
+    std::printf("\nhigh-similarity tail (>= 0.9): %llu pairs — the "
+                "auto-loaded resource bundles of the Sun data\n",
+                static_cast<unsigned long long>(
+                    bench.truth.CountAtOrAbove(0.9)));
+  }
+
+  std::printf("\n=== estimates used by the (r, l) optimizer ===\n");
+  {
+    sans::DistributionEstimatorOptions options;
+    options.sample_columns = 250;
+    options.seed = 3;
+    auto sampled = sans::EstimateSimilarityDistribution(matrix, options);
+    SANS_CHECK(sampled.ok());
+    sans::SketchDistributionOptions sketch_options;
+    sketch_options.seed = 5;
+    auto sketched =
+        sans::EstimateSimilarityDistributionSketch(matrix, sketch_options);
+    SANS_CHECK(sketched.ok());
+    const double act_high =
+        static_cast<double>(bench.truth.CountAtOrAbove(0.5));
+    std::printf(
+        "pairs >= 0.5: actual %.0f | column-sample estimate: %.0f "
+        "(blind to rare tails) | min-hash sketch estimate: %.0f\n",
+        act_high, sampled->CountAtOrAbove(0.5),
+        sketched->CountAtOrAbove(0.5));
+  }
+  return 0;
+}

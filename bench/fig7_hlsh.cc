@@ -1,0 +1,112 @@
+// Fig. 7 reproduction: quality and running time of the H-LSH
+// algorithm on the (simulated) Sun data as r (rows per sample) and l
+// (runs) vary. Expected shapes:
+//   7a: larger r -> fewer false positives, more false negatives.
+//   7b: time grows with l (more runs, more candidates).
+//   7c: time *decreases* with r — candidate checking dominates H-LSH,
+//       and sharper keys mean fewer candidates.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/sweep.h"
+#include "mine/hlsh_miner.h"
+
+int main() {
+  const sans::bench::WeblogBench bench = sans::bench::MakeWeblogBench();
+  sans::InMemorySource source(&bench.dataset.matrix);
+
+  const auto run = [&](int r, int l) {
+    sans::HlshMinerConfig config;
+    config.lsh.rows_per_run = r;
+    config.lsh.num_runs = l;
+    config.lsh.min_rows = 64;
+    config.lsh.density_band = 4;  // the paper's t = 4
+    config.lsh.seed = 17;
+    sans::HlshMiner miner(config);
+    sans::SweepOptions options;
+    options.threshold = 0.5;
+    options.scurve_floor = 0.1;
+    auto result = sans::RunAndScore(miner, source, bench.truth, options);
+    SANS_CHECK(result.ok());
+    return std::move(result).value();
+  };
+
+  // --- 7a: r sweep at l = 4. ---
+  const int rs[] = {4, 8, 16, 24};
+  std::vector<sans::SCurve> curves;
+  std::vector<std::string> labels;
+  sans::TablePrinter r_table(
+      {"r", "total(s)", "candidates", "FP(cand)", "FN"});
+  for (int r : rs) {
+    const sans::RunResult result = run(r, 4);
+    curves.push_back(result.scurve);
+    labels.push_back("r=" + std::to_string(r));
+    r_table.AddRow({
+        sans::TablePrinter::Int(r),
+        sans::TablePrinter::Fixed(result.seconds(), 3),
+        sans::TablePrinter::Int(result.report.num_candidates),
+        sans::TablePrinter::Int(result.candidate_metrics.false_positives),
+        sans::TablePrinter::Int(result.candidate_metrics.false_negatives),
+    });
+  }
+  sans::bench::PrintSCurves(
+      "=== Fig. 7a: H-LSH S-curves vs r (l = 4) — larger r drops false "
+      "positives, raises false negatives ===",
+      labels, curves);
+  std::printf("\n=== Fig. 7c: H-LSH time vs r — decreasing: fewer "
+              "candidates dominate the cost ===\n");
+  r_table.Print(std::cout);
+
+  // --- 7b: l sweep at r = 12. ---
+  const int ls[] = {1, 2, 4, 8};
+  curves.clear();
+  labels.clear();
+  sans::TablePrinter l_table(
+      {"l", "total(s)", "candidates", "FP(cand)", "FN"});
+  for (int l : ls) {
+    const sans::RunResult result = run(12, l);
+    curves.push_back(result.scurve);
+    labels.push_back("l=" + std::to_string(l));
+    l_table.AddRow({
+        sans::TablePrinter::Int(l),
+        sans::TablePrinter::Fixed(result.seconds(), 3),
+        sans::TablePrinter::Int(result.report.num_candidates),
+        sans::TablePrinter::Int(result.candidate_metrics.false_positives),
+        sans::TablePrinter::Int(result.candidate_metrics.false_negatives),
+    });
+  }
+  sans::bench::PrintSCurves(
+      "=== Fig. 7a': H-LSH S-curves vs l (r = 12) — more runs recover "
+      "false negatives ===",
+      labels, curves);
+  std::printf("\n=== Fig. 7b: H-LSH time vs l — increasing: more runs, "
+              "more candidates ===\n");
+  l_table.Print(std::cout);
+
+  // --- ablation: the density band parameter t (paper fixes t=4). ---
+  std::printf("\n=== ablation: density band t (paper: t = 4) ===\n");
+  sans::TablePrinter t_table({"t", "total(s)", "candidates", "FN"});
+  for (int t : {3, 4, 6, 8}) {
+    sans::HlshMinerConfig config;
+    config.lsh.rows_per_run = 12;
+    config.lsh.num_runs = 4;
+    config.lsh.min_rows = 64;
+    config.lsh.density_band = t;
+    config.lsh.seed = 17;
+    sans::HlshMiner miner(config);
+    sans::SweepOptions options;
+    options.threshold = 0.5;
+    auto result = sans::RunAndScore(miner, source, bench.truth, options);
+    SANS_CHECK(result.ok());
+    t_table.AddRow({
+        sans::TablePrinter::Int(t),
+        sans::TablePrinter::Fixed(result->seconds(), 3),
+        sans::TablePrinter::Int(result->report.num_candidates),
+        sans::TablePrinter::Int(result->candidate_metrics.false_negatives),
+    });
+  }
+  t_table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Micro-benchmarks (google-benchmark) of the two Section 3.1
+// candidate-generation algorithms over the same signature matrix —
+// the row-sort vs hash-count ablation from DESIGN.md — plus the
+// banded LSH bucketing for scale.
+
+#include <benchmark/benchmark.h>
+
+#include "candgen/hash_count.h"
+#include "candgen/min_lsh.h"
+#include "candgen/row_sort.h"
+#include "data/synthetic_generator.h"
+#include "matrix/row_stream.h"
+#include "sketch/min_hash.h"
+
+namespace sans {
+namespace {
+
+const SignatureMatrix& BenchSignatures() {
+  static const SignatureMatrix* signatures = [] {
+    SyntheticConfig config;
+    config.num_rows = 20'000;
+    config.num_cols = 2'000;
+    config.bands = {{20, 50.0, 95.0}};
+    config.min_density = 0.005;
+    config.max_density = 0.02;
+    config.seed = 11;
+    auto dataset = GenerateSynthetic(config);
+    SANS_CHECK(dataset.ok());
+    MinHashConfig mh;
+    mh.num_hashes = 60;
+    mh.seed = 13;
+    MinHashGenerator generator(mh);
+    InMemoryRowStream stream(&dataset->matrix);
+    auto sig = generator.Compute(&stream);
+    SANS_CHECK(sig.ok());
+    return new SignatureMatrix(std::move(sig).value());
+  }();
+  return *signatures;
+}
+
+void BM_RowSortCandidates(benchmark::State& state) {
+  const int min_agreements = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    RowSorter sorter(&BenchSignatures());
+    auto candidates = sorter.Candidates(min_agreements);
+    benchmark::DoNotOptimize(candidates);
+  }
+}
+BENCHMARK(BM_RowSortCandidates)->Arg(6)->Arg(15)->Arg(30);
+
+void BM_HashCountCandidates(benchmark::State& state) {
+  const int min_agreements = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto candidates = HashCountMinHash(BenchSignatures(), min_agreements);
+    benchmark::DoNotOptimize(candidates);
+  }
+}
+BENCHMARK(BM_HashCountCandidates)->Arg(6)->Arg(15)->Arg(30);
+
+void BM_MinLshBucketing(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  MinLshConfig config;
+  config.rows_per_band = r;
+  config.num_bands = 60 / r;
+  for (auto _ : state) {
+    MinLshCandidateGenerator generator(config);
+    auto candidates = generator.Generate(BenchSignatures());
+    benchmark::DoNotOptimize(candidates);
+  }
+}
+BENCHMARK(BM_MinLshBucketing)->Arg(4)->Arg(6)->Arg(10);
+
+}  // namespace
+}  // namespace sans
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+#include "candgen/hamming_lsh.h"
+
+#include <unordered_map>
+
+#include "matrix/or_fold.h"
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace sans {
+
+Status HammingLshConfig::Validate() const {
+  if (rows_per_run <= 0 || rows_per_run > 64) {
+    return Status::InvalidArgument("rows_per_run must be in [1, 64]");
+  }
+  if (num_runs <= 0) {
+    return Status::InvalidArgument("num_runs must be positive");
+  }
+  if (density_band < 2) {
+    return Status::InvalidArgument("density_band must be at least 2");
+  }
+  if (max_levels <= 0) {
+    return Status::InvalidArgument("max_levels must be positive");
+  }
+  return Status::OK();
+}
+
+HammingLshCandidateGenerator::HammingLshCandidateGenerator(
+    const HammingLshConfig& config)
+    : config_(config) {
+  SANS_CHECK(config.Validate().ok());
+}
+
+CandidateSet HammingLshCandidateGenerator::Generate(
+    const BinaryMatrix& matrix) const {
+  return GenerateWithStats(matrix, nullptr);
+}
+
+CandidateSet HammingLshCandidateGenerator::GenerateWithStats(
+    const BinaryMatrix& matrix,
+    std::vector<HammingLshLevelStats>* stats) const {
+  Xoshiro256 pyramid_rng(Mix64(config_.seed));
+  const std::vector<BinaryMatrix> pyramid = BuildOrFoldPyramid(
+      matrix, config_.max_levels, config_.min_rows, &pyramid_rng);
+
+  const double lo = 1.0 / config_.density_band;
+  const double hi =
+      static_cast<double>(config_.density_band - 1) / config_.density_band;
+
+  CandidateSet candidates;
+  std::vector<uint64_t> keys;
+  std::vector<ColumnId> eligible;
+  std::unordered_map<uint64_t, std::vector<ColumnId>> buckets;
+  for (size_t level = 0; level < pyramid.size(); ++level) {
+    const BinaryMatrix& m = pyramid[level];
+    eligible.clear();
+    for (ColumnId c = 0; c < m.num_cols(); ++c) {
+      const double d = m.ColumnDensity(c);
+      if (d > lo && d < hi) eligible.push_back(c);
+    }
+    HammingLshLevelStats level_stats;
+    level_stats.level = static_cast<int>(level);
+    level_stats.rows = m.num_rows();
+    level_stats.eligible_columns = static_cast<ColumnId>(eligible.size());
+
+    if (!eligible.empty()) {
+      Xoshiro256 run_rng(
+          Mix64(config_.seed ^ (0xa0761d6478bd642fULL * (level + 1))));
+      const int r = std::min<int>(config_.rows_per_run,
+                                  static_cast<int>(m.num_rows()));
+      for (int run = 0; run < config_.num_runs; ++run) {
+        const std::vector<uint64_t> sample =
+            run_rng.SampleWithoutReplacement(m.num_rows(), r);
+        // Build each eligible column's r-bit pattern by scanning the
+        // sampled rows once (row-major access; no column-major view
+        // needed at fold levels).
+        keys.assign(m.num_cols(), 0);
+        for (int bit = 0; bit < r; ++bit) {
+          for (ColumnId c : m.Row(static_cast<RowId>(sample[bit]))) {
+            keys[c] |= uint64_t{1} << bit;
+          }
+        }
+        buckets.clear();
+        for (ColumnId c : eligible) {
+          if (config_.skip_zero_keys && keys[c] == 0) continue;
+          buckets[keys[c]].push_back(c);
+        }
+        for (const auto& [key, cols] : buckets) {
+          for (size_t a = 0; a < cols.size(); ++a) {
+            for (size_t b = a + 1; b < cols.size(); ++b) {
+              candidates.Add(ColumnPair(cols[a], cols[b]));
+              ++level_stats.candidate_pairs;
+            }
+          }
+        }
+      }
+    }
+    if (stats != nullptr) stats->push_back(level_stats);
+  }
+  return candidates;
+}
+
+}  // namespace sans

@@ -1,0 +1,124 @@
+#include "candgen/hash_count.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sans {
+
+CandidateSet HashCountKMinHash(const KMinHashSketch& sketch,
+                               uint64_t min_intersection) {
+  SANS_CHECK_GE(min_intersection, 1u);
+  const ColumnId m = sketch.num_cols();
+
+  // value -> columns (with index < current) whose signature holds it.
+  std::unordered_map<uint64_t, std::vector<ColumnId>> buckets;
+  buckets.reserve(sketch.TotalSignatureSize());
+
+  CandidateSet candidates;
+  std::vector<uint64_t> counter(m, 0);
+  std::vector<ColumnId> touched;
+  for (ColumnId i = 0; i < m; ++i) {
+    touched.clear();
+    for (uint64_t value : sketch.Signature(i)) {
+      auto it = buckets.find(value);
+      if (it == buckets.end()) continue;
+      for (ColumnId j : it->second) {
+        if (counter[j] == 0) touched.push_back(j);
+        ++counter[j];
+      }
+    }
+    for (ColumnId j : touched) {
+      if (counter[j] >= min_intersection) {
+        candidates.Add(ColumnPair(j, i), counter[j]);
+      }
+      counter[j] = 0;
+    }
+    for (uint64_t value : sketch.Signature(i)) {
+      buckets[value].push_back(i);
+    }
+  }
+  return candidates;
+}
+
+CandidateSet HashCountKMinHashAdaptive(const KMinHashSketch& sketch,
+                                       double fraction) {
+  SANS_CHECK_GE(fraction, 0.0);
+  SANS_CHECK_LE(fraction, 1.0);
+  const ColumnId m = sketch.num_cols();
+
+  std::unordered_map<uint64_t, std::vector<ColumnId>> buckets;
+  buckets.reserve(sketch.TotalSignatureSize());
+
+  CandidateSet candidates;
+  std::vector<uint64_t> counter(m, 0);
+  std::vector<ColumnId> touched;
+  for (ColumnId i = 0; i < m; ++i) {
+    const size_t sig_i = sketch.Signature(i).size();
+    touched.clear();
+    for (uint64_t value : sketch.Signature(i)) {
+      auto it = buckets.find(value);
+      if (it == buckets.end()) continue;
+      for (ColumnId j : it->second) {
+        if (counter[j] == 0) touched.push_back(j);
+        ++counter[j];
+      }
+    }
+    for (ColumnId j : touched) {
+      const size_t larger_sig =
+          std::max(sig_i, sketch.Signature(j).size());
+      const uint64_t threshold = std::max<uint64_t>(
+          1, static_cast<uint64_t>(fraction *
+                                   static_cast<double>(larger_sig)));
+      if (counter[j] >= threshold) {
+        candidates.Add(ColumnPair(j, i), counter[j]);
+      }
+      counter[j] = 0;
+    }
+    for (uint64_t value : sketch.Signature(i)) {
+      buckets[value].push_back(i);
+    }
+  }
+  return candidates;
+}
+
+CandidateSet HashCountMinHash(const SignatureMatrix& signatures,
+                              int min_agreements) {
+  SANS_CHECK_GE(min_agreements, 1);
+  const int k = signatures.num_hashes();
+  const ColumnId m = signatures.num_cols();
+
+  // One bucket table per row of M̂ (paper: "we use a different hash
+  // table (and set of buckets) for each row").
+  std::vector<std::unordered_map<uint64_t, std::vector<ColumnId>>> tables(k);
+
+  CandidateSet candidates;
+  std::vector<int> counter(m, 0);
+  std::vector<ColumnId> touched;
+  for (ColumnId i = 0; i < m; ++i) {
+    if (signatures.ColumnEmpty(i)) continue;
+    touched.clear();
+    for (int l = 0; l < k; ++l) {
+      const uint64_t value = signatures.Value(l, i);
+      auto it = tables[l].find(value);
+      if (it == tables[l].end()) continue;
+      for (ColumnId j : it->second) {
+        if (counter[j] == 0) touched.push_back(j);
+        ++counter[j];
+      }
+    }
+    for (ColumnId j : touched) {
+      if (counter[j] >= min_agreements) {
+        candidates.Add(ColumnPair(j, i), counter[j]);
+      }
+      counter[j] = 0;
+    }
+    for (int l = 0; l < k; ++l) {
+      tables[l][signatures.Value(l, i)].push_back(i);
+    }
+  }
+  return candidates;
+}
+
+}  // namespace sans

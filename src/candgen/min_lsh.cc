@@ -1,0 +1,93 @@
+#include "candgen/min_lsh.h"
+
+#include <unordered_map>
+
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace sans {
+
+Status MinLshConfig::Validate() const {
+  if (rows_per_band <= 0) {
+    return Status::InvalidArgument("rows_per_band must be positive");
+  }
+  if (num_bands <= 0) {
+    return Status::InvalidArgument("num_bands must be positive");
+  }
+  return Status::OK();
+}
+
+MinLshCandidateGenerator::MinLshCandidateGenerator(const MinLshConfig& config)
+    : config_(config) {
+  SANS_CHECK(config.Validate().ok());
+}
+
+std::vector<int> MinLshCandidateGenerator::BandIndices(int band,
+                                                       int available) const {
+  SANS_CHECK_GE(band, 0);
+  SANS_CHECK_LT(band, config_.num_bands);
+  SANS_CHECK_GT(available, 0);
+  std::vector<int> indices(config_.rows_per_band);
+  if (!config_.sampled) {
+    for (int i = 0; i < config_.rows_per_band; ++i) {
+      indices[i] = band * config_.rows_per_band + i;
+      SANS_CHECK_LT(indices[i], available);
+    }
+    return indices;
+  }
+  // Sampled mode: deterministic per (seed, band) so Generate() and
+  // tests agree. Sampling is with replacement across and within
+  // bands, matching the Q_{r,l,k} analysis where "some of the k
+  // Min-Hash values can participate in more than one hashing key".
+  Xoshiro256 rng(Mix64(config_.seed) ^ (0x9e3779b97f4a7c15ULL * (band + 1)));
+  for (int i = 0; i < config_.rows_per_band; ++i) {
+    indices[i] = static_cast<int>(rng.NextBounded(available));
+  }
+  return indices;
+}
+
+Result<CandidateSet> MinLshCandidateGenerator::Generate(
+    const SignatureMatrix& signatures) const {
+  const int k = signatures.num_hashes();
+  if (!config_.sampled &&
+      k != config_.rows_per_band * config_.num_bands) {
+    return Status::InvalidArgument(
+        "banded Min-LSH requires num_hashes == rows_per_band * num_bands");
+  }
+  if (k <= 0) {
+    return Status::InvalidArgument("signature matrix has no hash rows");
+  }
+  const ColumnId m = signatures.num_cols();
+
+  CandidateSet candidates;
+  std::unordered_map<uint64_t, std::vector<ColumnId>> buckets;
+  buckets.reserve(m);
+  for (int band = 0; band < config_.num_bands; ++band) {
+    const std::vector<int> indices = BandIndices(band, k);
+    buckets.clear();
+    for (ColumnId c = 0; c < m; ++c) {
+      if (signatures.ColumnEmpty(c)) continue;
+      // Band key: order-sensitive combination of the r values. Seeded
+      // by the band id so identical keys in different bands land in
+      // independent bucket spaces.
+      uint64_t key = Mix64(0xb5ad4eceda1ce2a9ULL + band);
+      for (int idx : indices) {
+        key = CombineHashes(key, signatures.Value(idx, c));
+      }
+      buckets[key].push_back(c);
+    }
+    for (const auto& [key, cols] : buckets) {
+      // All pairs within a bucket are candidates (paper: "all columns
+      // that hash into the same bucket are pairwise declared
+      // candidates").
+      for (size_t a = 0; a < cols.size(); ++a) {
+        for (size_t b = a + 1; b < cols.size(); ++b) {
+          candidates.Add(ColumnPair(cols[a], cols[b]));
+        }
+      }
+    }
+  }
+  return candidates;
+}
+
+}  // namespace sans

@@ -1,0 +1,83 @@
+// Common vocabulary types shared by every subsystem: row/column ids,
+// column pairs, and scored similarity pairs.
+//
+// Data model (paper Section 1): a 0/1 matrix M with n rows and m
+// columns. C_i is the set of rows with a 1 in column i, the density is
+// d_i = |C_i|/n, and similarity is the Jaccard coefficient
+// S(c_i, c_j) = |C_i ∩ C_j| / |C_i ∪ C_j|.
+
+#ifndef SANS_CORE_TYPES_H_
+#define SANS_CORE_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+#include <vector>
+
+namespace sans {
+
+/// Index of a row (tuple / basket). 32 bits covers the laptop-scale
+/// data this build targets; the hash substrate is 64-bit regardless.
+using RowId = uint32_t;
+
+/// Index of a column (item / attribute).
+using ColumnId = uint32_t;
+
+/// An unordered pair of distinct columns, stored canonically with
+/// first < second so pairs hash and compare consistently.
+struct ColumnPair {
+  ColumnId first = 0;
+  ColumnId second = 0;
+
+  ColumnPair() = default;
+  ColumnPair(ColumnId a, ColumnId b)
+      : first(a < b ? a : b), second(a < b ? b : a) {}
+
+  friend bool operator==(const ColumnPair&, const ColumnPair&) = default;
+  friend auto operator<=>(const ColumnPair& a, const ColumnPair& b) {
+    return std::tie(a.first, a.second) <=> std::tie(b.first, b.second);
+  }
+};
+
+/// Hash functor so ColumnPair works in unordered containers.
+struct ColumnPairHash {
+  size_t operator()(const ColumnPair& p) const {
+    uint64_t key = (static_cast<uint64_t>(p.first) << 32) | p.second;
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    return static_cast<size_t>(key);
+  }
+};
+
+/// A column pair together with its (exact or estimated) similarity.
+struct SimilarPair {
+  ColumnPair pair;
+  double similarity = 0.0;
+
+  friend bool operator==(const SimilarPair&, const SimilarPair&) = default;
+};
+
+/// Sorts SimilarPairs by descending similarity, breaking ties by pair
+/// order so output listings are deterministic.
+struct BySimilarityDesc {
+  bool operator()(const SimilarPair& a, const SimilarPair& b) const {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.pair < b.pair;
+  }
+};
+
+/// A directed high-confidence rule c_antecedent ⇒ c_consequent with
+/// conf = |C_a ∩ C_c| / |C_a| (paper Section 6).
+struct ConfidenceRule {
+  ColumnId antecedent = 0;
+  ColumnId consequent = 0;
+  double confidence = 0.0;
+
+  friend bool operator==(const ConfidenceRule&,
+                         const ConfidenceRule&) = default;
+};
+
+}  // namespace sans
+
+#endif  // SANS_CORE_TYPES_H_

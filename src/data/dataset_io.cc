@@ -1,0 +1,76 @@
+#include "data/dataset_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "matrix/matrix_builder.h"
+
+namespace sans {
+
+Status SaveTransactions(const BinaryMatrix& matrix,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  for (RowId r = 0; r < matrix.num_rows(); ++r) {
+    bool first = true;
+    for (ColumnId c : matrix.Row(r)) {
+      if (!first) out << ' ';
+      first = false;
+      out << c;
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<BinaryMatrix> LoadTransactions(const std::string& path,
+                                      ColumnId min_cols) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::vector<std::vector<ColumnId>> rows;
+  ColumnId max_col = 0;
+  bool any_entry = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::vector<ColumnId>& row = rows.emplace_back();
+    std::istringstream tokens(line);
+    std::string token;
+    while (tokens >> token) {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(token.c_str(), &end, 10);
+      if (errno != 0 || end == token.c_str() || *end != '\0' ||
+          value > 0xfffffffful) {
+        return Status::Corruption("bad column id '" + token + "' in " +
+                                  path);
+      }
+      const ColumnId c = static_cast<ColumnId>(value);
+      row.push_back(c);
+      max_col = std::max(max_col, c);
+      any_entry = true;
+    }
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+  const ColumnId num_cols =
+      std::max<ColumnId>(min_cols, any_entry ? max_col + 1 : 0);
+  MatrixBuilder builder(static_cast<RowId>(rows.size()), num_cols);
+  for (RowId r = 0; r < rows.size(); ++r) {
+    SANS_RETURN_IF_ERROR(builder.SetRow(r, rows[r]));
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace sans

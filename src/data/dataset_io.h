@@ -1,0 +1,27 @@
+// Text interchange for tables: the classic "transaction" format used
+// by association-mining tools — one row per line, space-separated
+// column ids. Complements the binary format in matrix/table_file.h.
+
+#ifndef SANS_DATA_DATASET_IO_H_
+#define SANS_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "matrix/binary_matrix.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// Writes `matrix` to `path`, one line per row ("3 17 250\n"; empty
+/// rows become empty lines).
+Status SaveTransactions(const BinaryMatrix& matrix, const std::string& path);
+
+/// Loads a transaction file. The matrix shape is inferred: num_rows =
+/// number of lines, num_cols = 1 + max column id (or `min_cols` if
+/// larger). Duplicate ids within a line are tolerated.
+Result<BinaryMatrix> LoadTransactions(const std::string& path,
+                                      ColumnId min_cols = 0);
+
+}  // namespace sans
+
+#endif  // SANS_DATA_DATASET_IO_H_

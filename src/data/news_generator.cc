@@ -1,0 +1,177 @@
+#include "data/news_generator.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_set>
+
+#include "matrix/matrix_builder.h"
+#include "util/random.h"
+
+namespace sans {
+namespace {
+
+/// The paper's Fig. 1 examples, used to label the first planted
+/// collocations.
+constexpr std::array<std::pair<const char*, const char*>, 16>
+    kFigureOnePairs = {{
+        {"dalai", "lama"},
+        {"meryl", "streep"},
+        {"bertolt", "brecht"},
+        {"buenos", "aires"},
+        {"darth", "vader"},
+        {"pneumocystis", "carinii"},
+        {"meseo", "oceania"},
+        {"fibrosis", "cystic"},
+        {"avant", "garde"},
+        {"mache", "papier"},
+        {"cosa", "nostra"},
+        {"hors", "oeuvres"},
+        {"presse", "agence"},
+        {"encyclopedia", "britannica"},
+        {"salman", "satanic"},
+        {"mardi", "gras"},
+    }};
+
+/// The Section 2 chess-event cluster words.
+constexpr std::array<const char*, 6> kChessCluster = {
+    "chess", "timman", "karpov", "soviet", "ivanchuk", "polger"};
+
+}  // namespace
+
+Status NewsConfig::Validate() const {
+  if (num_docs == 0 || vocab_size == 0) {
+    return Status::InvalidArgument("docs and vocab must be positive");
+  }
+  if (zipf_exponent <= 0.0) {
+    return Status::InvalidArgument("zipf_exponent must be positive");
+  }
+  if (mean_words_per_doc < 1) {
+    return Status::InvalidArgument("mean_words_per_doc must be >= 1");
+  }
+  if (num_collocations < 0 || collocation_docs < 1 ||
+      num_clusters < 0 || cluster_size < 2 || cluster_docs < 1) {
+    return Status::InvalidArgument("invalid planted-structure shape");
+  }
+  if (collocation_coherence < 0.0 || collocation_coherence > 1.0 ||
+      cluster_coherence < 0.0 || cluster_coherence > 1.0) {
+    return Status::InvalidArgument("coherences must lie in [0, 1]");
+  }
+  const int64_t planted_words = 2LL * num_collocations +
+                                static_cast<int64_t>(num_clusters) *
+                                    cluster_size;
+  if (planted_words > static_cast<int64_t>(vocab_size)) {
+    return Status::InvalidArgument("planted words exceed the vocabulary");
+  }
+  if (static_cast<RowId>(collocation_docs) > num_docs ||
+      static_cast<RowId>(cluster_docs) > num_docs) {
+    return Status::InvalidArgument("planted docs exceed the corpus");
+  }
+  return Status::OK();
+}
+
+Result<NewsDataset> GenerateNews(const NewsConfig& config) {
+  SANS_RETURN_IF_ERROR(config.Validate());
+  Xoshiro256 rng(config.seed);
+
+  NewsDataset dataset{BinaryMatrix(0, 0), {}, {}, {}};
+  dataset.words.resize(config.vocab_size);
+
+  // Reserve the front of the vocabulary for planted words.
+  ColumnId next = 0;
+  std::vector<uint8_t> is_planted(config.vocab_size, 0);
+  for (int p = 0; p < config.num_collocations; ++p) {
+    const ColumnId a = next++;
+    const ColumnId b = next++;
+    is_planted[a] = 1;
+    is_planted[b] = 1;
+    if (p < static_cast<int>(kFigureOnePairs.size())) {
+      dataset.words[a] = kFigureOnePairs[p].first;
+      dataset.words[b] = kFigureOnePairs[p].second;
+    } else {
+      dataset.words[a] = "colloc" + std::to_string(p) + "_a";
+      dataset.words[b] = "colloc" + std::to_string(p) + "_b";
+    }
+    dataset.collocations.push_back(ColumnPair(a, b));
+  }
+  for (int g = 0; g < config.num_clusters; ++g) {
+    std::vector<ColumnId> cluster;
+    for (int w = 0; w < config.cluster_size; ++w) {
+      const ColumnId c = next++;
+      is_planted[c] = 1;
+      if (g == 0 && w < static_cast<int>(kChessCluster.size())) {
+        dataset.words[c] = kChessCluster[w];
+      } else {
+        dataset.words[c] =
+            "cluster" + std::to_string(g) + "_w" + std::to_string(w);
+      }
+      cluster.push_back(c);
+    }
+    dataset.clusters.push_back(std::move(cluster));
+  }
+  for (ColumnId c = next; c < config.vocab_size; ++c) {
+    dataset.words[c] = "word" + std::to_string(c);
+  }
+
+  // Background vocabulary, Zipf-ranked; planted words are excluded
+  // from background draws so their support stays low and controlled.
+  std::vector<ColumnId> background;
+  for (ColumnId c = next; c < config.vocab_size; ++c) {
+    background.push_back(c);
+  }
+  SANS_CHECK(!background.empty());
+
+  MatrixBuilder builder(config.num_docs, config.vocab_size);
+  std::unordered_set<ColumnId> doc_words;
+  for (RowId doc = 0; doc < config.num_docs; ++doc) {
+    doc_words.clear();
+    // Poisson-ish document length via geometric mixture: draw
+    // mean_words_per_doc words (duplicates collapse).
+    for (int w = 0; w < config.mean_words_per_doc; ++w) {
+      doc_words.insert(
+          background[rng.NextZipf(background.size(),
+                                  config.zipf_exponent)]);
+    }
+    for (ColumnId c : doc_words) {
+      SANS_CHECK(builder.Set(doc, c).ok());
+    }
+  }
+
+  // Plant collocations: each gets `collocation_docs` random documents;
+  // in each, both words appear with probability `coherence`, else one
+  // of the two alone (keeping supports equal-ish but similarity < 1).
+  for (const ColumnPair& pair : dataset.collocations) {
+    const std::vector<uint64_t> docs = rng.SampleWithoutReplacement(
+        config.num_docs, config.collocation_docs);
+    for (uint64_t d : docs) {
+      const RowId doc = static_cast<RowId>(d);
+      if (rng.NextBernoulli(config.collocation_coherence)) {
+        SANS_CHECK(builder.Set(doc, pair.first).ok());
+        SANS_CHECK(builder.Set(doc, pair.second).ok());
+      } else if (rng.NextBernoulli(0.5)) {
+        SANS_CHECK(builder.Set(doc, pair.first).ok());
+      } else {
+        SANS_CHECK(builder.Set(doc, pair.second).ok());
+      }
+    }
+  }
+
+  // Plant clusters: each cluster owns `cluster_docs` documents; every
+  // member word appears in each with probability `cluster_coherence`.
+  for (const std::vector<ColumnId>& cluster : dataset.clusters) {
+    const std::vector<uint64_t> docs =
+        rng.SampleWithoutReplacement(config.num_docs, config.cluster_docs);
+    for (uint64_t d : docs) {
+      const RowId doc = static_cast<RowId>(d);
+      for (ColumnId c : cluster) {
+        if (rng.NextBernoulli(config.cluster_coherence)) {
+          SANS_CHECK(builder.Set(doc, c).ok());
+        }
+      }
+    }
+  }
+
+  SANS_ASSIGN_OR_RETURN(dataset.matrix, std::move(builder).Build());
+  return dataset;
+}
+
+}  // namespace sans

@@ -1,0 +1,114 @@
+#include "data/shingling.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "matrix/matrix_builder.h"
+#include "util/hashing.h"
+
+namespace sans {
+
+Status ShinglingOptions::Validate() const {
+  if (shingle_size < 1) {
+    return Status::InvalidArgument("shingle_size must be >= 1");
+  }
+  if (num_shingle_buckets == 0) {
+    return Status::InvalidArgument("num_shingle_buckets must be positive");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> TokenizeForShingling(std::string_view text,
+                                              bool normalize) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char raw : text) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    const bool keep =
+        normalize ? (std::isalnum(c) != 0) : (std::isspace(c) == 0);
+    if (keep) {
+      current.push_back(
+          normalize ? static_cast<char>(std::tolower(c)) : raw);
+    } else if (std::isspace(c) != 0 || normalize) {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<RowId> HashedShingles(std::string_view text,
+                                  const ShinglingOptions& options) {
+  SANS_CHECK(options.Validate().ok());
+  const std::vector<std::string> tokens =
+      TokenizeForShingling(text, options.normalize);
+  std::vector<RowId> shingles;
+  if (tokens.empty()) return shingles;
+
+  const size_t w = static_cast<size_t>(options.shingle_size);
+  const size_t count = tokens.size() >= w ? tokens.size() - w + 1 : 1;
+  const size_t width = std::min(w, tokens.size());
+  shingles.reserve(count);
+  for (size_t start = 0; start < count; ++start) {
+    // Hash the shingle's tokens in order, keyed by the seed.
+    uint64_t h = Mix64(options.seed + 0x9e3779b97f4a7c15ULL);
+    for (size_t i = 0; i < width; ++i) {
+      for (char c : tokens[start + i]) {
+        h = CombineHashes(h, static_cast<unsigned char>(c));
+      }
+      h = CombineHashes(h, 0x1f);  // token separator
+    }
+    shingles.push_back(
+        static_cast<RowId>(h % options.num_shingle_buckets));
+  }
+  std::sort(shingles.begin(), shingles.end());
+  shingles.erase(std::unique(shingles.begin(), shingles.end()),
+                 shingles.end());
+  return shingles;
+}
+
+Result<BinaryMatrix> ShingleDocuments(
+    const std::vector<std::string>& documents,
+    const ShinglingOptions& options) {
+  SANS_RETURN_IF_ERROR(options.Validate());
+  if (documents.size() > 0xffffffffull) {
+    return Status::InvalidArgument("too many documents");
+  }
+  MatrixBuilder builder(options.num_shingle_buckets,
+                        static_cast<ColumnId>(documents.size()));
+  for (size_t d = 0; d < documents.size(); ++d) {
+    for (RowId shingle : HashedShingles(documents[d], options)) {
+      SANS_RETURN_IF_ERROR(
+          builder.Set(shingle, static_cast<ColumnId>(d)));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+double Resemblance(std::string_view a, std::string_view b,
+                   const ShinglingOptions& options) {
+  const std::vector<RowId> sa = HashedShingles(a, options);
+  const std::vector<RowId> sb = HashedShingles(b, options);
+  if (sa.empty() && sb.empty()) return 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  size_t inter = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] < sb[j]) {
+      ++i;
+    } else if (sb[j] < sa[i]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+}  // namespace sans

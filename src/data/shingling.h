@@ -1,0 +1,65 @@
+// Text shingling for the paper's copy-detection application
+// (Section 1: "identifying identical or similar documents and web
+// pages [4], [13]"). Documents become columns of a 0/1 matrix whose
+// rows are hashed w-shingles (w consecutive tokens); near-duplicate
+// documents are then exactly the similar column pairs the library
+// mines. This is Broder's resemblance setup, expressed in the paper's
+// data model.
+
+#ifndef SANS_DATA_SHINGLING_H_
+#define SANS_DATA_SHINGLING_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+#include "matrix/binary_matrix.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// Options for the shingler.
+struct ShinglingOptions {
+  /// Tokens per shingle (w). Broder suggests small w for robustness;
+  /// 3-5 is typical for plagiarism detection.
+  int shingle_size = 4;
+  /// Rows of the output matrix: shingles are hashed into
+  /// [0, num_shingle_buckets). More buckets = fewer collisions =
+  /// sharper similarities; memory is not affected (the matrix is
+  /// sparse).
+  RowId num_shingle_buckets = 1u << 20;
+  /// Lower-case and strip non-alphanumerics before tokenizing.
+  bool normalize = true;
+  /// Seed of the shingle hash.
+  uint64_t seed = 0;
+
+  Status Validate() const;
+};
+
+/// Splits `text` into tokens (whitespace-delimited; normalized when
+/// requested).
+std::vector<std::string> TokenizeForShingling(std::string_view text,
+                                              bool normalize);
+
+/// The set of hashed w-shingles of `text`, sorted and distinct.
+/// Documents shorter than one shingle yield their single partial
+/// shingle (so short documents still compare).
+std::vector<RowId> HashedShingles(std::string_view text,
+                                  const ShinglingOptions& options);
+
+/// Builds the shingle × document matrix: column d holds document d's
+/// shingle set. Jaccard similarity of columns equals Broder's
+/// resemblance of the documents (up to bucket collisions).
+Result<BinaryMatrix> ShingleDocuments(
+    const std::vector<std::string>& documents,
+    const ShinglingOptions& options);
+
+/// Exact resemblance of two texts under the same options (shingle the
+/// two texts and intersect) — ground truth for tests and small jobs.
+double Resemblance(std::string_view a, std::string_view b,
+                   const ShinglingOptions& options);
+
+}  // namespace sans
+
+#endif  // SANS_DATA_SHINGLING_H_

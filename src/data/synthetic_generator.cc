@@ -1,0 +1,133 @@
+#include "data/synthetic_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "matrix/matrix_builder.h"
+#include "util/random.h"
+
+namespace sans {
+
+Status SyntheticConfig::Validate() const {
+  if (num_rows == 0 || num_cols == 0) {
+    return Status::InvalidArgument("num_rows and num_cols must be positive");
+  }
+  if (min_density <= 0.0 || max_density > 1.0 ||
+      min_density > max_density) {
+    return Status::InvalidArgument(
+        "densities must satisfy 0 < min <= max <= 1");
+  }
+  int total_pairs = 0;
+  for (const SimilarityBand& band : bands) {
+    if (band.num_pairs < 0) {
+      return Status::InvalidArgument("negative pair count in band");
+    }
+    if (band.low_percent < 0.0 || band.high_percent > 100.0 ||
+        band.low_percent >= band.high_percent) {
+      return Status::InvalidArgument("invalid band percent range");
+    }
+    total_pairs += band.num_pairs;
+  }
+  const ColumnId slots = spread_pairs ? num_cols / 100 : num_cols / 2;
+  if (static_cast<ColumnId>(total_pairs) > slots) {
+    return Status::InvalidArgument(
+        "too many planted pairs for the column budget");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Appends `rows` as 1-entries of column `col`.
+void EmitColumn(MatrixBuilder* builder, ColumnId col,
+                const std::vector<uint64_t>& rows) {
+  for (uint64_t r : rows) {
+    SANS_CHECK(builder->Set(static_cast<RowId>(r), col).ok());
+  }
+}
+
+}  // namespace
+
+Result<SyntheticDataset> GenerateSynthetic(const SyntheticConfig& config) {
+  SANS_RETURN_IF_ERROR(config.Validate());
+  Xoshiro256 rng(config.seed);
+  MatrixBuilder builder(config.num_rows, config.num_cols);
+  std::vector<PlantedPair> planted;
+
+  // Decide which column indices host planted pairs.
+  std::vector<std::pair<ColumnId, ColumnId>> pair_slots;
+  {
+    int total_pairs = 0;
+    for (const SimilarityBand& band : config.bands) {
+      total_pairs += band.num_pairs;
+    }
+    for (int p = 0; p < total_pairs; ++p) {
+      const ColumnId base = config.spread_pairs
+                                ? static_cast<ColumnId>(100 * p)
+                                : static_cast<ColumnId>(2 * p);
+      pair_slots.emplace_back(base, base + 1);
+    }
+  }
+
+  std::vector<uint8_t> is_planted(config.num_cols, 0);
+  size_t slot = 0;
+  for (const SimilarityBand& band : config.bands) {
+    for (int p = 0; p < band.num_pairs; ++p) {
+      const auto [col_a, col_b] = pair_slots[slot++];
+      is_planted[col_a] = 1;
+      is_planted[col_b] = 1;
+
+      const double target =
+          (band.low_percent +
+           rng.NextDouble() * (band.high_percent - band.low_percent)) /
+          100.0;
+      const double density =
+          config.min_density +
+          rng.NextDouble() * (config.max_density - config.min_density);
+      const uint64_t card = std::max<uint64_t>(
+          2, static_cast<uint64_t>(std::llround(density * config.num_rows)));
+      // Shared core z out of per-column cardinality c gives Jaccard
+      // z / (2c - z) = s  =>  z = 2cs / (1 + s).
+      const uint64_t core = std::min(
+          card, static_cast<uint64_t>(
+                    std::llround(2.0 * card * target / (1.0 + target))));
+      const uint64_t unique = card - core;
+
+      // Draw core + the two unique parts disjointly in one sample.
+      const uint64_t need = core + 2 * unique;
+      SANS_CHECK_LE(need, config.num_rows);
+      std::vector<uint64_t> sample =
+          rng.SampleWithoutReplacement(config.num_rows, need);
+      rng.Shuffle(&sample);
+      std::vector<uint64_t> rows_a(sample.begin(), sample.begin() + core);
+      std::vector<uint64_t> rows_b = rows_a;
+      rows_a.insert(rows_a.end(), sample.begin() + core,
+                    sample.begin() + core + unique);
+      rows_b.insert(rows_b.end(), sample.begin() + core + unique,
+                    sample.end());
+      EmitColumn(&builder, col_a, rows_a);
+      EmitColumn(&builder, col_b, rows_b);
+
+      const double realized =
+          static_cast<double>(core) / static_cast<double>(2 * card - core);
+      planted.push_back(PlantedPair{ColumnPair(col_a, col_b), realized});
+    }
+  }
+
+  // Background columns: independent row samples.
+  for (ColumnId c = 0; c < config.num_cols; ++c) {
+    if (is_planted[c] != 0) continue;
+    const double density =
+        config.min_density +
+        rng.NextDouble() * (config.max_density - config.min_density);
+    const uint64_t card = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(density * config.num_rows)));
+    EmitColumn(&builder, c,
+               rng.SampleWithoutReplacement(config.num_rows, card));
+  }
+
+  SANS_ASSIGN_OR_RETURN(BinaryMatrix matrix, std::move(builder).Build());
+  return SyntheticDataset{std::move(matrix), std::move(planted)};
+}
+
+}  // namespace sans

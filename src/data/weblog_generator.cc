@@ -1,0 +1,135 @@
+#include "data/weblog_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "matrix/matrix_builder.h"
+#include "util/random.h"
+
+namespace sans {
+
+Status WeblogConfig::Validate() const {
+  if (num_clients == 0 || num_urls == 0) {
+    return Status::InvalidArgument("clients and urls must be positive");
+  }
+  if (popularity_exponent <= 0.0) {
+    return Status::InvalidArgument("popularity_exponent must be positive");
+  }
+  if (mean_pages_per_client < 1.0) {
+    return Status::InvalidArgument("mean_pages_per_client must be >= 1");
+  }
+  if (num_bundles < 0 || max_resources_per_bundle < 1) {
+    return Status::InvalidArgument("invalid bundle shape");
+  }
+  const int64_t bundle_cols =
+      static_cast<int64_t>(num_bundles) * (1 + max_resources_per_bundle);
+  if (bundle_cols > static_cast<int64_t>(num_urls)) {
+    return Status::InvalidArgument("bundles exceed the URL budget");
+  }
+  if (resource_load_probability < 0.0 || resource_load_probability > 1.0 ||
+      stray_resource_probability < 0.0 ||
+      stray_resource_probability > 1.0 ||
+      min_resource_load_probability < 0.0 ||
+      min_resource_load_probability > resource_load_probability) {
+    return Status::InvalidArgument("probabilities must lie in [0, 1]");
+  }
+  return Status::OK();
+}
+
+Result<WeblogDataset> GenerateWeblog(const WeblogConfig& config) {
+  SANS_RETURN_IF_ERROR(config.Validate());
+  Xoshiro256 rng(config.seed);
+
+  // Carve bundle columns off the front of the URL space: parent,
+  // resources, parent, resources, ... Remaining columns are plain
+  // pages.
+  std::vector<UrlBundle> bundles;
+  std::vector<std::string> url_names(config.num_urls);
+  // parent_of[c] = parent column when c is a resource, else c itself.
+  std::vector<ColumnId> parent_of(config.num_urls);
+  std::vector<uint8_t> is_resource(config.num_urls, 0);
+  ColumnId next = 0;
+  for (int b = 0; b < config.num_bundles; ++b) {
+    UrlBundle bundle;
+    bundle.parent = next++;
+    bundle.load_probability =
+        config.min_resource_load_probability +
+        rng.NextDouble() * (config.resource_load_probability -
+                            config.min_resource_load_probability);
+    const int resources =
+        1 + static_cast<int>(
+                rng.NextBounded(config.max_resources_per_bundle));
+    for (int r = 0;
+         r < resources && next < config.num_urls; ++r) {
+      bundle.resources.push_back(next);
+      parent_of[next] = bundle.parent;
+      is_resource[next] = 1;
+      ++next;
+    }
+    bundles.push_back(std::move(bundle));
+  }
+  for (ColumnId c = 0; c < config.num_urls; ++c) {
+    char buf[64];
+    if (is_resource[c]) {
+      std::snprintf(buf, sizeof(buf), "/products/page%04u/img%u.gif",
+                    parent_of[c], c - parent_of[c]);
+    } else {
+      std::snprintf(buf, sizeof(buf), "/products/page%04u.html", c);
+    }
+    url_names[c] = buf;
+    if (!is_resource[c]) parent_of[c] = c;
+  }
+
+  // Only non-resource pages are directly navigable; resources load
+  // through their parent (plus rare strays).
+  std::vector<ColumnId> pages;
+  for (ColumnId c = 0; c < config.num_urls; ++c) {
+    if (!is_resource[c]) pages.push_back(c);
+  }
+  SANS_CHECK(!pages.empty());
+  // Decouple popularity rank from column id so bundle parents span
+  // the whole popularity range.
+  rng.Shuffle(&pages);
+
+  MatrixBuilder builder(config.num_clients, config.num_urls);
+  const double geometric_p = 1.0 / config.mean_pages_per_client;
+  std::unordered_set<ColumnId> visited;
+  for (RowId client = 0; client < config.num_clients; ++client) {
+    visited.clear();
+    // Geometric number of page views, at least 1.
+    int views = 1;
+    while (rng.NextDouble() > geometric_p && views < 200) ++views;
+    for (int v = 0; v < views; ++v) {
+      const ColumnId page =
+          pages[rng.NextZipf(pages.size(), config.popularity_exponent)];
+      visited.insert(page);
+    }
+    // Expand bundles: visiting a parent pulls its resources in with
+    // high probability.
+    for (const UrlBundle& bundle : bundles) {
+      if (visited.count(bundle.parent) != 0) {
+        for (ColumnId res : bundle.resources) {
+          if (rng.NextBernoulli(bundle.load_probability)) {
+            visited.insert(res);
+          }
+        }
+      } else {
+        for (ColumnId res : bundle.resources) {
+          if (rng.NextBernoulli(config.stray_resource_probability)) {
+            visited.insert(res);
+          }
+        }
+      }
+    }
+    for (ColumnId c : visited) {
+      SANS_CHECK(builder.Set(client, c).ok());
+    }
+  }
+
+  SANS_ASSIGN_OR_RETURN(BinaryMatrix matrix, std::move(builder).Build());
+  return WeblogDataset{std::move(matrix), std::move(bundles),
+                       std::move(url_names)};
+}
+
+}  // namespace sans

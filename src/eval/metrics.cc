@@ -1,0 +1,53 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace sans {
+
+GroundTruth::GroundTruth(const std::vector<SimilarPair>& all_nonzero_pairs) {
+  similarity_.reserve(all_nonzero_pairs.size());
+  for (const SimilarPair& p : all_nonzero_pairs) {
+    similarity_[p.pair] = p.similarity;
+  }
+}
+
+double GroundTruth::Similarity(ColumnPair pair) const {
+  auto it = similarity_.find(pair);
+  return it == similarity_.end() ? 0.0 : it->second;
+}
+
+std::vector<ColumnPair> GroundTruth::PairsAtOrAbove(double cutoff) const {
+  std::vector<ColumnPair> pairs;
+  for (const auto& [pair, s] : similarity_) {
+    if (s >= cutoff) pairs.push_back(pair);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+uint64_t GroundTruth::CountAtOrAbove(double cutoff) const {
+  uint64_t count = 0;
+  for (const auto& [pair, s] : similarity_) {
+    if (s >= cutoff) ++count;
+  }
+  return count;
+}
+
+PairMetrics ScorePairs(const GroundTruth& truth,
+                       const std::vector<ColumnPair>& found, double cutoff) {
+  PairMetrics metrics;
+  std::unordered_set<ColumnPair, ColumnPairHash> found_set(found.begin(),
+                                                           found.end());
+  for (ColumnPair pair : found_set) {
+    if (truth.Similarity(pair) >= cutoff) {
+      ++metrics.true_positives;
+    } else {
+      ++metrics.false_positives;
+    }
+  }
+  metrics.false_negatives =
+      truth.CountAtOrAbove(cutoff) - metrics.true_positives;
+  return metrics;
+}
+
+}  // namespace sans

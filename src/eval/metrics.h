@@ -1,0 +1,70 @@
+// Output-quality metrics (paper Section 5.1): false positives and
+// false negatives of a candidate or result set against brute-force
+// ground truth at a similarity cutoff.
+//
+// Terminology note from the paper: a candidate pair whose true
+// similarity is below the cutoff is a false positive (it costs
+// verification work); a truly-similar pair missing from the set is a
+// false negative (it is lost — verification cannot resurrect it).
+
+#ifndef SANS_EVAL_METRICS_H_
+#define SANS_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// Ground truth wrapper: exact similarity for every co-occurring pair
+/// (pairs absent have similarity 0).
+class GroundTruth {
+ public:
+  explicit GroundTruth(const std::vector<SimilarPair>& all_nonzero_pairs);
+
+  /// Exact similarity of a pair (0 when the pair never co-occurs).
+  double Similarity(ColumnPair pair) const;
+
+  /// Pairs with similarity >= cutoff.
+  std::vector<ColumnPair> PairsAtOrAbove(double cutoff) const;
+
+  /// Number of pairs with similarity >= cutoff.
+  uint64_t CountAtOrAbove(double cutoff) const;
+
+  size_t size() const { return similarity_.size(); }
+
+ private:
+  std::unordered_map<ColumnPair, double, ColumnPairHash> similarity_;
+};
+
+/// Confusion counts of a pair set at a cutoff.
+struct PairMetrics {
+  uint64_t true_positives = 0;   ///< found pairs with true sim >= cutoff
+  uint64_t false_positives = 0;  ///< found pairs with true sim < cutoff
+  uint64_t false_negatives = 0;  ///< true pairs >= cutoff not found
+
+  double recall() const {
+    const uint64_t total = true_positives + false_negatives;
+    return total == 0 ? 1.0
+                      : static_cast<double>(true_positives) / total;
+  }
+  double precision() const {
+    const uint64_t total = true_positives + false_positives;
+    return total == 0 ? 1.0
+                      : static_cast<double>(true_positives) / total;
+  }
+  /// False negatives as a fraction of the true positives available.
+  double false_negative_rate() const { return 1.0 - recall(); }
+};
+
+/// Scores `found` against the truth at `cutoff`.
+PairMetrics ScorePairs(const GroundTruth& truth,
+                       const std::vector<ColumnPair>& found, double cutoff);
+
+}  // namespace sans
+
+#endif  // SANS_EVAL_METRICS_H_

@@ -1,0 +1,60 @@
+#include "eval/scurve.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/status.h"
+
+namespace sans {
+
+double SCurve::Ratio(size_t bin) const {
+  SANS_CHECK_LT(bin, actual.size());
+  if (actual[bin] == 0) return -1.0;
+  return static_cast<double>(found[bin]) / actual[bin];
+}
+
+std::string SCurve::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < bin_center.size(); ++i) {
+    if (actual[i] == 0) continue;
+    out << bin_center[i] << '\t' << actual[i] << '\t' << found[i] << '\t'
+        << Ratio(i) << '\n';
+  }
+  return out.str();
+}
+
+SCurve ComputeSCurve(const GroundTruth& truth,
+                     const std::vector<ColumnPair>& found,
+                     double min_similarity, int num_bins) {
+  SANS_CHECK_GT(num_bins, 0);
+  SANS_CHECK_GE(min_similarity, 0.0);
+  SANS_CHECK_LT(min_similarity, 1.0);
+
+  SCurve curve;
+  curve.bin_center.resize(num_bins);
+  curve.actual.assign(num_bins, 0);
+  curve.found.assign(num_bins, 0);
+  const double width = (1.0 - min_similarity) / num_bins;
+  for (int i = 0; i < num_bins; ++i) {
+    curve.bin_center[i] = min_similarity + (i + 0.5) * width;
+  }
+
+  const auto bin_of = [&](double s) {
+    int bin = static_cast<int>((s - min_similarity) / width);
+    return std::clamp(bin, 0, num_bins - 1);
+  };
+
+  const std::vector<ColumnPair> true_pairs =
+      truth.PairsAtOrAbove(min_similarity);
+  std::unordered_set<ColumnPair, ColumnPairHash> found_set(found.begin(),
+                                                           found.end());
+  for (ColumnPair pair : true_pairs) {
+    const int bin = bin_of(truth.Similarity(pair));
+    ++curve.actual[bin];
+    if (found_set.count(pair) != 0) ++curve.found[bin];
+  }
+  return curve;
+}
+
+}  // namespace sans

@@ -1,0 +1,50 @@
+// The "S"-curve of paper Section 5.1: "the ratio of the number of
+// pairs found by the algorithm over the real number of pairs for a
+// given similarity range ... The resulting plot is typically an
+// S-shaped curve that gives a good visual picture for the false
+// positives and negatives." The area left of a cutoff under the curve
+// is false positives; the area right of the cutoff above the curve is
+// false negatives.
+
+#ifndef SANS_EVAL_SCURVE_H_
+#define SANS_EVAL_SCURVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "eval/metrics.h"
+
+namespace sans {
+
+/// The per-bin found/actual ratios.
+struct SCurve {
+  /// Bin centers over [min_similarity, 1].
+  std::vector<double> bin_center;
+  /// True pairs per bin.
+  std::vector<uint64_t> actual;
+  /// Found pairs per bin (found pairs whose true similarity lands in
+  /// the bin).
+  std::vector<uint64_t> found;
+
+  /// found/actual for a bin; bins with no true pairs report -1
+  /// (undefined; rendered blank).
+  double Ratio(size_t bin) const;
+
+  /// Compact ASCII rendering: one "center actual found ratio" line
+  /// per non-empty bin.
+  std::string ToString() const;
+};
+
+/// Buckets the truth's pairs at or above `min_similarity` into
+/// `num_bins` equal bins and counts how many of each bin's pairs
+/// appear in `found`. Pairs in `found` below min_similarity are
+/// ignored here (they are the false positives ScorePairs counts).
+SCurve ComputeSCurve(const GroundTruth& truth,
+                     const std::vector<ColumnPair>& found,
+                     double min_similarity, int num_bins);
+
+}  // namespace sans
+
+#endif  // SANS_EVAL_SCURVE_H_

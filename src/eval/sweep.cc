@@ -1,0 +1,34 @@
+#include "eval/sweep.h"
+
+namespace sans {
+
+std::vector<ColumnPair> PairsOf(const std::vector<SimilarPair>& scored) {
+  std::vector<ColumnPair> pairs;
+  pairs.reserve(scored.size());
+  for (const SimilarPair& p : scored) pairs.push_back(p.pair);
+  return pairs;
+}
+
+Result<RunResult> RunAndScore(Miner& miner, const RowStreamSource& source,
+                              const GroundTruth& truth,
+                              const SweepOptions& options) {
+  RunResult result;
+  result.algorithm = miner.name();
+  SANS_ASSIGN_OR_RETURN(result.report,
+                        miner.Mine(source, options.threshold));
+
+  const std::vector<ColumnPair> found = PairsOf(result.report.pairs);
+  result.output_metrics = ScorePairs(truth, found, options.threshold);
+
+  result.candidate_metrics =
+      ScorePairs(truth, result.report.candidates, options.threshold);
+
+  // The S-curve describes the candidate set (paper Section 5.1): the
+  // ratio below the threshold visualizes false positives, the
+  // shortfall above it false negatives.
+  result.scurve = ComputeSCurve(truth, result.report.candidates,
+                                options.scurve_floor, options.scurve_bins);
+  return result;
+}
+
+}  // namespace sans

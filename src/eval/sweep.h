@@ -1,0 +1,52 @@
+// Parameter-sweep driver shared by the benchmark binaries: run a
+// miner, score its verified pairs and its raw candidates against
+// ground truth, and collect timing — one call per figure data point.
+
+#ifndef SANS_EVAL_SWEEP_H_
+#define SANS_EVAL_SWEEP_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "eval/scurve.h"
+#include "mine/miner.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// One scored mining run.
+struct RunResult {
+  std::string algorithm;
+  MiningReport report;
+  /// Metrics of the verified output at the mining threshold. The
+  /// verifier removes all false positives, so false_positives here
+  /// counts truth-map discrepancies only (expected 0).
+  PairMetrics output_metrics;
+  /// Metrics of the phase-2 candidate set at the mining threshold —
+  /// this is where the paper's FP/FN trade-off lives.
+  PairMetrics candidate_metrics;
+  /// S-curve of the candidate set above `scurve_floor` (Section 5.1).
+  SCurve scurve;
+
+  double seconds() const { return report.timers.GrandTotal(); }
+};
+
+/// Options controlling scoring.
+struct SweepOptions {
+  double threshold = 0.5;     ///< mining similarity threshold s*
+  double scurve_floor = 0.1;  ///< S-curve covers [floor, 1]
+  int scurve_bins = 18;
+};
+
+/// Runs `miner` over `source` and scores against `truth`.
+Result<RunResult> RunAndScore(Miner& miner, const RowStreamSource& source,
+                              const GroundTruth& truth,
+                              const SweepOptions& options);
+
+/// Extracts just the pairs from mining output.
+std::vector<ColumnPair> PairsOf(const std::vector<SimilarPair>& scored);
+
+}  // namespace sans
+
+#endif  // SANS_EVAL_SWEEP_H_

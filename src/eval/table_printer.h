@@ -1,0 +1,43 @@
+// Fixed-width ASCII table rendering for the benchmark harness — the
+// benches print rows shaped like the paper's figures and tables.
+
+#ifndef SANS_EVAL_TABLE_PRINTER_H_
+#define SANS_EVAL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sans {
+
+/// Collects rows of string cells and prints them with per-column
+/// widths, a header rule, and two-space separators.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; missing cells print empty, extra cells are an
+  /// error.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table.
+  std::string ToString() const;
+
+  /// Writes ToString() to the stream.
+  void Print(std::ostream& out) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` decimal places.
+  static std::string Fixed(double value, int digits);
+  /// Formats an integer.
+  static std::string Int(uint64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sans
+
+#endif  // SANS_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,80 @@
+// Similarity-distribution estimation by column sampling (paper
+// Section 4.1: "we can approximate this distribution by sampling a
+// small fraction of columns and estimating all pairwise similarity").
+// The estimated histogram feeds OptimizeLshParameters; exact
+// histograms over the full matrix support the Fig. 3 reproduction.
+
+#ifndef SANS_LSH_DISTRIBUTION_ESTIMATOR_H_
+#define SANS_LSH_DISTRIBUTION_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "lsh/parameter_optimizer.h"
+#include "matrix/binary_matrix.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// Options for the sampled estimator.
+struct DistributionEstimatorOptions {
+  /// Columns drawn uniformly without replacement.
+  ColumnId sample_columns = 200;
+  /// Histogram bins over [0, 1]; bin i is centered at
+  /// (i + 0.5) / num_bins.
+  int num_bins = 100;
+  /// Drop exact-zero similarities from the histogram (they dominate
+  /// sparse data and carry no information for threshold selection).
+  bool drop_zeros = true;
+  uint64_t seed = 0;
+};
+
+/// Estimates the pairwise-similarity histogram from a column sample,
+/// scaling counts by (m choose 2) / (sample choose 2) so they
+/// approximate full-data pair counts. Requires the matrix's
+/// column-major view.
+///
+/// Caveat: a column sample captures the dominant low-similarity mass
+/// well, but when similar pairs are rare (tens among millions) a
+/// small sample almost surely contains none of them, so the high tail
+/// reads zero. Combine with the sketch-based estimator below when the
+/// tail matters (it drives the optimizer's false-negative bound).
+Result<SimilarityDistribution> EstimateSimilarityDistribution(
+    const BinaryMatrix& matrix, const DistributionEstimatorOptions& options);
+
+/// Options for the sketch-based estimator.
+struct SketchDistributionOptions {
+  /// Min-hash functions; pairs with similarity below ~1/num_hashes
+  /// are mostly invisible (they rarely share a value).
+  int num_hashes = 48;
+  int num_bins = 100;
+  /// Bins below this similarity are dropped: the sketch systematically
+  /// under-counts there, so that range should come from the sampling
+  /// estimator instead.
+  double min_similarity = 0.1;
+  uint64_t seed = 0;
+};
+
+/// Estimates the histogram from min-hash agreement counts: every pair
+/// sharing at least one of k min-hash values contributes its estimate
+/// Ŝ = agreements / k. Complements column sampling: it sees every
+/// moderately-similar pair (cost O(k·S̄·m²), the row-sorting bound)
+/// including rare high-similarity tails, but is blind below ~1/k.
+Result<SimilarityDistribution> EstimateSimilarityDistributionSketch(
+    const BinaryMatrix& matrix, const SketchDistributionOptions& options);
+
+/// Splices two estimates: bins below `split` come from `low` (the
+/// sampling estimate), bins at or above it from `high` (the sketch
+/// estimate). The result is sorted and Validate()-clean.
+SimilarityDistribution MergeDistributions(const SimilarityDistribution& low,
+                                          const SimilarityDistribution& high,
+                                          double split);
+
+/// Exact histogram over all column pairs (brute force; the offline
+/// ground-truth path of Section 5.1). Requires the column-major view.
+SimilarityDistribution ExactSimilarityDistribution(const BinaryMatrix& matrix,
+                                                   int num_bins,
+                                                   bool drop_zeros);
+
+}  // namespace sans
+
+#endif  // SANS_LSH_DISTRIBUTION_ESTIMATOR_H_

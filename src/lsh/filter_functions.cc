@@ -1,0 +1,55 @@
+#include "lsh/filter_functions.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace sans {
+
+double BandCollisionProbability(double s, int r, int l) {
+  SANS_CHECK_GE(s, 0.0);
+  SANS_CHECK_LE(s, 1.0);
+  SANS_CHECK_GE(r, 1);
+  SANS_CHECK_GE(l, 1);
+  const double band_match = std::pow(s, r);
+  // log1p/expm1 keep precision when band_match is tiny and l large.
+  const double log_no_match = l * std::log1p(-band_match);
+  return -std::expm1(log_no_match);
+}
+
+double SampledCollisionGivenAgreements(int d, int k, int r, int l) {
+  SANS_CHECK_GE(d, 0);
+  SANS_CHECK_LE(d, k);
+  SANS_CHECK_GE(k, 1);
+  return BandCollisionProbability(static_cast<double>(d) / k, r, l);
+}
+
+double SampledBandCollisionProbability(double s, int r, int l, int k) {
+  SANS_CHECK_GE(s, 0.0);
+  SANS_CHECK_LE(s, 1.0);
+  SANS_CHECK_GE(k, 1);
+  if (s == 0.0) return 0.0;
+  if (s == 1.0) return SampledCollisionGivenAgreements(k, k, r, l);
+  const double log_s = std::log(s);
+  const double log_1ms = std::log1p(-s);
+  double total = 0.0;
+  for (int d = 1; d <= k; ++d) {
+    // log C(k,d) via lgamma for numerical stability at large k.
+    const double log_binom = std::lgamma(k + 1.0) - std::lgamma(d + 1.0) -
+                             std::lgamma(k - d + 1.0);
+    const double log_weight = log_binom + d * log_s + (k - d) * log_1ms;
+    total += std::exp(log_weight) *
+             SampledCollisionGivenAgreements(d, k, r, l);
+  }
+  return total;
+}
+
+double BandThreshold(int r, int l) {
+  SANS_CHECK_GE(r, 1);
+  SANS_CHECK_GE(l, 1);
+  // Solve 1 - (1 - s^r)^l = 1/2.
+  const double inner = -std::expm1(std::log(0.5) / l);
+  return std::pow(inner, 1.0 / r);
+}
+
+}  // namespace sans

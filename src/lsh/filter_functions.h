@@ -1,0 +1,37 @@
+// Analytic LSH filter functions (paper Section 4.1, Fig. 2):
+//
+//   P_{r,l}(s)   = 1 - (1 - s^r)^l      — banded Min-LSH collision
+//                                          probability for a pair of
+//                                          similarity s;
+//   q_{r,l,k}(d) = 1 - (1 - (d/k)^r)^l  — collision probability given
+//                                          the pair agrees on exactly
+//                                          d of k min-hash values;
+//   Q_{r,l,k}(s) = Σ_d C(k,d) s^d (1-s)^{k-d} q_{r,l,k}(d)
+//                                        — sampled-band variant.
+//
+// P approaches a unit step at s = (1/l)^(1/r) as r, l grow; Q
+// approximates P from below in sharpness, converging as k grows.
+
+#ifndef SANS_LSH_FILTER_FUNCTIONS_H_
+#define SANS_LSH_FILTER_FUNCTIONS_H_
+
+namespace sans {
+
+/// P_{r,l}(s). Preconditions: 0 <= s <= 1, r >= 1, l >= 1.
+double BandCollisionProbability(double s, int r, int l);
+
+/// q_{r,l,k}(d): collision probability of the sampled scheme given d
+/// of k agreeing values.
+double SampledCollisionGivenAgreements(int d, int k, int r, int l);
+
+/// Q_{r,l,k}(s): sampled-band collision probability; binomial mixture
+/// of q over d, computed with log-space binomial terms for large k.
+double SampledBandCollisionProbability(double s, int r, int l, int k);
+
+/// The similarity at which P_{r,l} crosses 1/2 — the effective
+/// threshold of a banded filter, s_half = (1 - 2^(-1/l))^(1/r).
+double BandThreshold(int r, int l);
+
+}  // namespace sans
+
+#endif  // SANS_LSH_FILTER_FUNCTIONS_H_

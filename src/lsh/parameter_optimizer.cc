@@ -1,0 +1,106 @@
+#include "lsh/parameter_optimizer.h"
+
+#include "lsh/filter_functions.h"
+
+namespace sans {
+
+Status SimilarityDistribution::Validate() const {
+  if (similarity.size() != count.size()) {
+    return Status::InvalidArgument("similarity/count size mismatch");
+  }
+  for (size_t i = 0; i < similarity.size(); ++i) {
+    if (similarity[i] < 0.0 || similarity[i] > 1.0) {
+      return Status::OutOfRange("similarity bin outside [0, 1]");
+    }
+    if (i > 0 && similarity[i] < similarity[i - 1]) {
+      return Status::InvalidArgument("bins must be sorted by similarity");
+    }
+    if (count[i] < 0.0) {
+      return Status::OutOfRange("negative bin count");
+    }
+  }
+  return Status::OK();
+}
+
+double SimilarityDistribution::CountAtOrAbove(double threshold) const {
+  double total = 0.0;
+  for (size_t i = 0; i < similarity.size(); ++i) {
+    if (similarity[i] >= threshold) total += count[i];
+  }
+  return total;
+}
+
+double SimilarityDistribution::CountBelow(double threshold) const {
+  double total = 0.0;
+  for (size_t i = 0; i < similarity.size(); ++i) {
+    if (similarity[i] < threshold) total += count[i];
+  }
+  return total;
+}
+
+double ExpectedFalseNegatives(const SimilarityDistribution& distr,
+                              double s0, int r, int l) {
+  double total = 0.0;
+  for (size_t i = 0; i < distr.similarity.size(); ++i) {
+    if (distr.similarity[i] >= s0) {
+      total += distr.count[i] *
+               (1.0 - BandCollisionProbability(distr.similarity[i], r, l));
+    }
+  }
+  return total;
+}
+
+double ExpectedFalsePositives(const SimilarityDistribution& distr,
+                              double s0, int r, int l) {
+  double total = 0.0;
+  for (size_t i = 0; i < distr.similarity.size(); ++i) {
+    if (distr.similarity[i] < s0) {
+      total += distr.count[i] *
+               BandCollisionProbability(distr.similarity[i], r, l);
+    }
+  }
+  return total;
+}
+
+LshParameters OptimizeLshParameters(const SimilarityDistribution& distr,
+                                    const LshOptimizerOptions& options) {
+  SANS_CHECK(distr.Validate().ok());
+  SANS_CHECK_GE(options.max_r, 1);
+  SANS_CHECK_GE(options.max_l, 1);
+  LshParameters best;
+  for (int r = 1; r <= options.max_r; ++r) {
+    // FN(l) decreases in l: binary search the minimal feasible l.
+    if (ExpectedFalseNegatives(distr, options.s0, r, options.max_l) >
+        options.max_false_negatives) {
+      continue;  // even max_l cannot meet the FN bound at this r
+    }
+    int lo = 1;
+    int hi = options.max_l;
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (ExpectedFalseNegatives(distr, options.s0, r, mid) <=
+          options.max_false_negatives) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    const int l = lo;
+    // FP(l) increases in l, so the minimal-l point is the best shot
+    // at the FP bound for this r.
+    const double fp = ExpectedFalsePositives(distr, options.s0, r, l);
+    if (fp > options.max_false_positives) continue;
+    const int64_t cost = static_cast<int64_t>(r) * l;
+    if (!best.feasible || cost < best.cost()) {
+      best.feasible = true;
+      best.r = r;
+      best.l = l;
+      best.expected_false_negatives =
+          ExpectedFalseNegatives(distr, options.s0, r, l);
+      best.expected_false_positives = fp;
+    }
+  }
+  return best;
+}
+
+}  // namespace sans

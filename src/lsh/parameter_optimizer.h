@@ -1,0 +1,75 @@
+// Input-sensitive Min-LSH parameter selection (paper Section 4.1):
+// given (an estimate of) the data's similarity distribution and
+// tolerances on false negatives and false positives, solve
+//
+//   minimize  l · r
+//   s.t.      Σ_{s_i >= s0} distr(s_i) · (1 - P_{r,l}(s_i)) <= n_minus
+//             Σ_{s_i <  s0} distr(s_i) · P_{r,l}(s_i)       <= n_plus
+//
+// by iterating over small r, binary-searching the minimal l that
+// meets the false-negative bound (P is increasing in l), and checking
+// the false-positive bound. The paper reports optimal r typically
+// between 5 and 20.
+
+#ifndef SANS_LSH_PARAMETER_OPTIMIZER_H_
+#define SANS_LSH_PARAMETER_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sans {
+
+/// Histogram of pair similarities: bin i covers pairs with similarity
+/// ~= similarity[i] and holds count[i] pairs. Bins need not be
+/// uniform; entries must be sorted by similarity.
+struct SimilarityDistribution {
+  std::vector<double> similarity;
+  std::vector<double> count;
+
+  /// Total pairs with similarity >= threshold.
+  double CountAtOrAbove(double threshold) const;
+  /// Total pairs with similarity < threshold.
+  double CountBelow(double threshold) const;
+
+  Status Validate() const;
+};
+
+/// Expected false negatives of a P_{r,l} filter at cutoff s0:
+/// mass above the cutoff that fails to collide.
+double ExpectedFalseNegatives(const SimilarityDistribution& distr,
+                              double s0, int r, int l);
+
+/// Expected false positives: mass below the cutoff that collides.
+double ExpectedFalsePositives(const SimilarityDistribution& distr,
+                              double s0, int r, int l);
+
+/// Constraints and search space of the optimization.
+struct LshOptimizerOptions {
+  double s0 = 0.5;          ///< similarity cutoff
+  double max_false_negatives = 10.0;
+  double max_false_positives = 1000.0;
+  int max_r = 40;           ///< r search range [1, max_r]
+  int max_l = 4096;         ///< l search range [1, max_l]
+};
+
+/// Result of the optimization.
+struct LshParameters {
+  bool feasible = false;
+  int r = 0;
+  int l = 0;
+  double expected_false_negatives = 0.0;
+  double expected_false_positives = 0.0;
+  /// Cost l·r (number of min-hash values consumed).
+  int64_t cost() const { return static_cast<int64_t>(r) * l; }
+};
+
+/// Solves the minimization. Returns feasible = false when no (r, l)
+/// within the search space meets both constraints.
+LshParameters OptimizeLshParameters(const SimilarityDistribution& distr,
+                                    const LshOptimizerOptions& options);
+
+}  // namespace sans
+
+#endif  // SANS_LSH_PARAMETER_OPTIMIZER_H_

@@ -1,0 +1,50 @@
+#include "matrix/matrix_builder.h"
+
+#include <algorithm>
+
+namespace sans {
+
+MatrixBuilder::MatrixBuilder(RowId num_rows, ColumnId num_cols)
+    : num_rows_(num_rows), num_cols_(num_cols) {}
+
+Status MatrixBuilder::Set(RowId row, ColumnId col) {
+  if (row >= num_rows_) {
+    return Status::OutOfRange("row id exceeds num_rows");
+  }
+  if (col >= num_cols_) {
+    return Status::OutOfRange("column id exceeds num_cols");
+  }
+  entries_.push_back((static_cast<uint64_t>(row) << 32) | col);
+  return Status::OK();
+}
+
+Status MatrixBuilder::SetRow(RowId row, const std::vector<ColumnId>& cols) {
+  for (ColumnId c : cols) SANS_RETURN_IF_ERROR(Set(row, c));
+  return Status::OK();
+}
+
+Result<BinaryMatrix> MatrixBuilder::Build() && {
+  std::sort(entries_.begin(), entries_.end());
+  entries_.erase(std::unique(entries_.begin(), entries_.end()),
+                 entries_.end());
+
+  BinaryMatrix m(num_rows_, num_cols_);
+  m.col_ids_.reserve(entries_.size());
+  size_t idx = 0;
+  for (RowId r = 0; r < num_rows_; ++r) {
+    while (idx < entries_.size() &&
+           (entries_[idx] >> 32) == static_cast<uint64_t>(r)) {
+      const ColumnId c = static_cast<ColumnId>(entries_[idx] & 0xffffffffu);
+      m.col_ids_.push_back(c);
+      ++m.col_cardinalities_[c];
+      ++idx;
+    }
+    m.row_offsets_[r + 1] = m.col_ids_.size();
+  }
+  SANS_CHECK_EQ(idx, entries_.size());
+  entries_.clear();
+  m.EnsureColumnMajor();
+  return m;
+}
+
+}  // namespace sans

@@ -1,0 +1,53 @@
+#include "matrix/or_fold.h"
+
+#include <algorithm>
+
+#include "matrix/matrix_builder.h"
+
+namespace sans {
+
+BinaryMatrix OrFold(const BinaryMatrix& matrix, Xoshiro256* rng) {
+  const RowId n = matrix.num_rows();
+  std::vector<RowId> order(n);
+  for (RowId r = 0; r < n; ++r) order[r] = r;
+  rng->Shuffle(&order);
+
+  const RowId out_rows = (n + 1) / 2;
+  MatrixBuilder builder(out_rows, matrix.num_cols());
+  std::vector<ColumnId> merged;
+  for (RowId out = 0; out < out_rows; ++out) {
+    const auto a = matrix.Row(order[2 * out]);
+    merged.clear();
+    if (2 * out + 1 < n) {
+      const auto b = matrix.Row(order[2 * out + 1]);
+      merged.resize(a.size() + b.size());
+      merged.erase(
+          std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                         merged.begin()),
+          merged.end());
+    } else {
+      merged.assign(a.begin(), a.end());
+    }
+    for (ColumnId c : merged) {
+      SANS_CHECK(builder.Set(out, c).ok());
+    }
+  }
+  Result<BinaryMatrix> result = std::move(builder).Build();
+  SANS_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+std::vector<BinaryMatrix> BuildOrFoldPyramid(const BinaryMatrix& matrix,
+                                             int max_levels, RowId min_rows,
+                                             Xoshiro256* rng) {
+  SANS_CHECK_GE(max_levels, 1);
+  std::vector<BinaryMatrix> pyramid;
+  pyramid.push_back(matrix);
+  while (static_cast<int>(pyramid.size()) < max_levels &&
+         pyramid.back().num_rows() > min_rows) {
+    pyramid.push_back(OrFold(pyramid.back(), rng));
+  }
+  return pyramid;
+}
+
+}  // namespace sans

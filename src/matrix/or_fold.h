@@ -1,0 +1,34 @@
+// OR-folding for the Hamming-LSH scheme (paper Section 4.2): the
+// matrix M_{i+1} is obtained from M_i "by randomly pairing all rows of
+// M_i, and placing in M_{i+1} the OR of each pair", halving the row
+// count and roughly doubling column densities at each level. The
+// paper's footnote observes this is equivalent to hashing each column
+// into increasingly smaller tables.
+
+#ifndef SANS_MATRIX_OR_FOLD_H_
+#define SANS_MATRIX_OR_FOLD_H_
+
+#include <vector>
+
+#include "matrix/binary_matrix.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// Produces the OR-fold of `matrix`: rows are randomly paired (via
+/// `rng`) and each output row is the union of its pair. With an odd
+/// row count the leftover row passes through unchanged. The result
+/// has ceil(num_rows/2) rows and the same columns.
+BinaryMatrix OrFold(const BinaryMatrix& matrix, Xoshiro256* rng);
+
+/// Builds the pyramid M_0 = matrix, M_1 = OrFold(M_0), ... until
+/// either `max_levels` matrices exist or the top matrix has at most
+/// `min_rows` rows. M_0 is element 0 (a copy of the input).
+std::vector<BinaryMatrix> BuildOrFoldPyramid(const BinaryMatrix& matrix,
+                                             int max_levels, RowId min_rows,
+                                             Xoshiro256* rng);
+
+}  // namespace sans
+
+#endif  // SANS_MATRIX_OR_FOLD_H_

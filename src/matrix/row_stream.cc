@@ -1,0 +1,19 @@
+#include "matrix/row_stream.h"
+
+#include "matrix/matrix_builder.h"
+
+namespace sans {
+
+Result<BinaryMatrix> MaterializeStream(RowStream* stream) {
+  SANS_RETURN_IF_ERROR(stream->Reset());
+  MatrixBuilder builder(stream->num_rows(), stream->num_cols());
+  RowView view;
+  while (stream->Next(&view)) {
+    for (ColumnId c : view.columns) {
+      SANS_RETURN_IF_ERROR(builder.Set(view.row, c));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace sans

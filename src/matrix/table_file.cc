@@ -1,0 +1,167 @@
+#include "matrix/table_file.h"
+
+#include <cstring>
+
+#include "matrix/matrix_builder.h"
+
+namespace sans {
+namespace {
+
+Status WriteU32(std::FILE* f, uint32_t value) {
+  if (std::fwrite(&value, sizeof(value), 1, f) != 1) {
+    return Status::IOError("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadU32(std::FILE* f, uint32_t* value) {
+  if (std::fread(value, sizeof(*value), 1, f) != 1) {
+    return Status::IOError("short read");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteTableFile(const BinaryMatrix& matrix, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  Status s = Status::OK();
+  auto write_all = [&]() -> Status {
+    SANS_RETURN_IF_ERROR(WriteU32(f, kTableFileMagic));
+    SANS_RETURN_IF_ERROR(WriteU32(f, kTableFileVersion));
+    SANS_RETURN_IF_ERROR(WriteU32(f, matrix.num_rows()));
+    SANS_RETURN_IF_ERROR(WriteU32(f, matrix.num_cols()));
+    for (RowId r = 0; r < matrix.num_rows(); ++r) {
+      const auto row = matrix.Row(r);
+      SANS_RETURN_IF_ERROR(WriteU32(f, static_cast<uint32_t>(row.size())));
+      if (!row.empty() &&
+          std::fwrite(row.data(), sizeof(ColumnId), row.size(), f) !=
+              row.size()) {
+        return Status::IOError("short write of row data");
+      }
+    }
+    return Status::OK();
+  };
+  s = write_all();
+  if (std::fclose(f) != 0 && s.ok()) {
+    s = Status::IOError("close failed: " + path);
+  }
+  return s;
+}
+
+TableFileReader::TableFileReader(std::FILE* file, RowId num_rows,
+                                 ColumnId num_cols, long data_offset)
+    : file_(file),
+      num_rows_(num_rows),
+      num_cols_(num_cols),
+      data_offset_(data_offset),
+      next_row_(0) {}
+
+TableFileReader::~TableFileReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<TableFileReader>> TableFileReader::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t num_rows = 0;
+  uint32_t num_cols = 0;
+  auto read_header = [&]() -> Status {
+    SANS_RETURN_IF_ERROR(ReadU32(f, &magic));
+    if (magic != kTableFileMagic) {
+      return Status::Corruption("bad magic in " + path);
+    }
+    SANS_RETURN_IF_ERROR(ReadU32(f, &version));
+    if (version != kTableFileVersion) {
+      return Status::Corruption("unsupported table file version");
+    }
+    SANS_RETURN_IF_ERROR(ReadU32(f, &num_rows));
+    SANS_RETURN_IF_ERROR(ReadU32(f, &num_cols));
+    return Status::OK();
+  };
+  const Status s = read_header();
+  if (!s.ok()) {
+    std::fclose(f);
+    return s;
+  }
+  const long data_offset = std::ftell(f);
+  if (data_offset < 0) {
+    std::fclose(f);
+    return Status::IOError("ftell failed on " + path);
+  }
+  return std::unique_ptr<TableFileReader>(
+      new TableFileReader(f, num_rows, num_cols, data_offset));
+}
+
+bool TableFileReader::Next(RowView* out) {
+  if (next_row_ >= num_rows_ || !stream_status_.ok()) return false;
+  uint32_t count = 0;
+  Status s = ReadU32(file_, &count);
+  if (!s.ok()) {
+    stream_status_ = Status::Corruption("truncated row header");
+    return false;
+  }
+  row_buffer_.resize(count);
+  if (count > 0 &&
+      std::fread(row_buffer_.data(), sizeof(ColumnId), count, file_) !=
+          count) {
+    stream_status_ = Status::Corruption("truncated row data");
+    return false;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    if (row_buffer_[i] >= num_cols_ ||
+        (i > 0 && row_buffer_[i] <= row_buffer_[i - 1])) {
+      stream_status_ = Status::Corruption("invalid row entries");
+      return false;
+    }
+  }
+  out->row = next_row_;
+  out->columns = {row_buffer_.data(), row_buffer_.size()};
+  ++next_row_;
+  return true;
+}
+
+Status TableFileReader::Reset() {
+  if (std::fseek(file_, data_offset_, SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  next_row_ = 0;
+  stream_status_ = Status::OK();
+  return Status::OK();
+}
+
+Result<TableFileSource> TableFileSource::Create(const std::string& path) {
+  SANS_ASSIGN_OR_RETURN(std::unique_ptr<TableFileReader> probe,
+                        TableFileReader::Open(path));
+  return TableFileSource(path, probe->num_rows(), probe->num_cols());
+}
+
+Result<std::unique_ptr<RowStream>> TableFileSource::Open() const {
+  SANS_ASSIGN_OR_RETURN(std::unique_ptr<TableFileReader> reader,
+                        TableFileReader::Open(path_));
+  return std::unique_ptr<RowStream>(std::move(reader));
+}
+
+Result<BinaryMatrix> ReadTableFile(const std::string& path) {
+  SANS_ASSIGN_OR_RETURN(std::unique_ptr<TableFileReader> reader,
+                        TableFileReader::Open(path));
+  MatrixBuilder builder(reader->num_rows(), reader->num_cols());
+  RowView view;
+  while (reader->Next(&view)) {
+    SANS_RETURN_IF_ERROR(builder.SetRow(
+        view.row, std::vector<ColumnId>(view.columns.begin(),
+                                        view.columns.end())));
+  }
+  SANS_RETURN_IF_ERROR(reader->stream_status());
+  return std::move(builder).Build();
+}
+
+}  // namespace sans

@@ -1,0 +1,98 @@
+// On-disk table format and its streaming reader — the "large table
+// sitting in secondary memory" of the paper's Section 1. The format is
+// a row-major sparse dump:
+//
+//   [magic u32]["SANS"][version u32][num_rows u32][num_cols u32]
+//   repeated num_rows times: [count u32][count * column id u32]
+//
+// All integers little-endian. The reader streams one row at a time in
+// O(max row size) memory, so signature computation over a table much
+// larger than RAM is a genuine single pass.
+
+#ifndef SANS_MATRIX_TABLE_FILE_H_
+#define SANS_MATRIX_TABLE_FILE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "matrix/binary_matrix.h"
+#include "matrix/row_stream.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// Magic number at the head of every table file ("SANS" read as LE).
+inline constexpr uint32_t kTableFileMagic = 0x534e4153u;
+/// Current format version.
+inline constexpr uint32_t kTableFileVersion = 1;
+
+/// Writes a BinaryMatrix to `path` in the table-file format.
+Status WriteTableFile(const BinaryMatrix& matrix, const std::string& path);
+
+/// Streams rows from a table file. One buffered pass; Reset() seeks
+/// back to the first row for the verification re-scan.
+class TableFileReader final : public RowStream {
+ public:
+  /// Opens `path`, validating the header.
+  static Result<std::unique_ptr<TableFileReader>> Open(
+      const std::string& path);
+
+  ~TableFileReader() override;
+
+  TableFileReader(const TableFileReader&) = delete;
+  TableFileReader& operator=(const TableFileReader&) = delete;
+
+  RowId num_rows() const override { return num_rows_; }
+  ColumnId num_cols() const override { return num_cols_; }
+
+  bool Next(RowView* out) override;
+  Status Reset() override;
+
+  /// Set after Next() returns false: distinguishes clean end-of-table
+  /// from a truncated or corrupt file.
+  const Status& stream_status() const { return stream_status_; }
+
+ private:
+  TableFileReader(std::FILE* file, RowId num_rows, ColumnId num_cols,
+                  long data_offset);
+
+  std::FILE* file_;
+  RowId num_rows_;
+  ColumnId num_cols_;
+  long data_offset_;
+  RowId next_row_;
+  std::vector<ColumnId> row_buffer_;
+  Status stream_status_;
+};
+
+/// Source that opens a fresh TableFileReader per scan.
+class TableFileSource final : public RowStreamSource {
+ public:
+  /// Validates the file once (header read) and caches its shape.
+  static Result<TableFileSource> Create(const std::string& path);
+
+  RowId num_rows() const override { return num_rows_; }
+  ColumnId num_cols() const override { return num_cols_; }
+
+  Result<std::unique_ptr<RowStream>> Open() const override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  TableFileSource(std::string path, RowId num_rows, ColumnId num_cols)
+      : path_(std::move(path)), num_rows_(num_rows), num_cols_(num_cols) {}
+
+  std::string path_;
+  RowId num_rows_;
+  ColumnId num_cols_;
+};
+
+/// Loads an entire table file into memory.
+Result<BinaryMatrix> ReadTableFile(const std::string& path);
+
+}  // namespace sans
+
+#endif  // SANS_MATRIX_TABLE_FILE_H_

@@ -1,0 +1,84 @@
+#include "mine/anticorrelation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace sans {
+
+Status AnticorrelationConfig::Validate() const {
+  if (min_support <= 0.0 || min_support > 1.0) {
+    return Status::InvalidArgument(
+        "min_support must lie in (0, 1] — Section 7 requires a support "
+        "floor for statistical validity");
+  }
+  if (max_lift < 0.0 || max_lift > 1.0) {
+    return Status::InvalidArgument("max_lift must lie in [0, 1]");
+  }
+  if (min_expected_intersection < 0.0) {
+    return Status::InvalidArgument(
+        "min_expected_intersection must be non-negative");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<AnticorrelatedPair>> MineAnticorrelated(
+    const BinaryMatrix& matrix, const AnticorrelationConfig& config) {
+  SANS_RETURN_IF_ERROR(config.Validate());
+  const RowId n = matrix.num_rows();
+  if (n == 0) return std::vector<AnticorrelatedPair>{};
+  const uint64_t min_count =
+      static_cast<uint64_t>(std::ceil(config.min_support * n));
+
+  std::vector<ColumnId> qualified;
+  std::vector<uint8_t> is_qualified(matrix.num_cols(), 0);
+  for (ColumnId c = 0; c < matrix.num_cols(); ++c) {
+    if (matrix.ColumnCardinality(c) >= min_count) {
+      qualified.push_back(c);
+      is_qualified[c] = 1;
+    }
+  }
+
+  // One scan counting co-occurrences among qualified columns only.
+  // Exclusion is the ABSENCE of co-occurrence, so pairs that never hit
+  // the counter map are the most interesting; they are enumerated from
+  // the qualified set afterwards.
+  std::unordered_map<ColumnPair, uint64_t, ColumnPairHash> counts;
+  std::vector<ColumnId> row_items;
+  for (RowId r = 0; r < n; ++r) {
+    row_items.clear();
+    for (ColumnId c : matrix.Row(r)) {
+      if (is_qualified[c]) row_items.push_back(c);
+    }
+    for (size_t i = 0; i < row_items.size(); ++i) {
+      for (size_t j = i + 1; j < row_items.size(); ++j) {
+        ++counts[ColumnPair(row_items[i], row_items[j])];
+      }
+    }
+  }
+
+  std::vector<AnticorrelatedPair> result;
+  for (size_t i = 0; i < qualified.size(); ++i) {
+    for (size_t j = i + 1; j < qualified.size(); ++j) {
+      const ColumnPair pair(qualified[i], qualified[j]);
+      const double expected =
+          static_cast<double>(matrix.ColumnCardinality(pair.first)) *
+          static_cast<double>(matrix.ColumnCardinality(pair.second)) / n;
+      if (expected < config.min_expected_intersection) continue;
+      auto it = counts.find(pair);
+      const uint64_t inter = it == counts.end() ? 0 : it->second;
+      const double lift = static_cast<double>(inter) / expected;
+      if (lift <= config.max_lift) {
+        result.push_back(AnticorrelatedPair{pair, inter, expected, lift});
+      }
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const AnticorrelatedPair& a, const AnticorrelatedPair& b) {
+              if (a.lift != b.lift) return a.lift < b.lift;
+              return a.pair < b.pair;
+            });
+  return result;
+}
+
+}  // namespace sans

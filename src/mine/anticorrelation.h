@@ -1,0 +1,61 @@
+// Anticorrelation / mutual-exclusion mining (paper Section 7): "It is
+// also possible to define 'anticorrelation', or mutual exclusion
+// between a pair of columns. However, for statistical validity, this
+// would require imposing a support requirement since extremely sparse
+// columns are likely to be mutually exclusive by sheer chance."
+//
+// Accordingly this miner DOES take a support floor — the one place in
+// the library where support pruning is principled. Among columns above
+// the floor it finds pairs whose observed co-occurrence is far below
+// the independence expectation |C_i|·|C_j|/n, measured by the lift
+// n·|C_i ∩ C_j| / (|C_i|·|C_j|) (lift 1 = independent, 0 = perfectly
+// exclusive).
+
+#ifndef SANS_MINE_ANTICORRELATION_H_
+#define SANS_MINE_ANTICORRELATION_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "matrix/binary_matrix.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// A mutually-exclusive (or strongly anticorrelated) column pair.
+struct AnticorrelatedPair {
+  ColumnPair pair;
+  uint64_t intersection = 0;
+  /// Expected intersection under independence.
+  double expected_intersection = 0.0;
+  /// n·inter / (|C_i|·|C_j|); lower = more exclusive.
+  double lift = 0.0;
+
+  friend bool operator==(const AnticorrelatedPair&,
+                         const AnticorrelatedPair&) = default;
+};
+
+/// Options for anticorrelation mining.
+struct AnticorrelationConfig {
+  /// Support floor (fraction of rows) both columns must meet — the
+  /// Section 7 statistical-validity requirement.
+  double min_support = 0.05;
+  /// Report pairs with lift <= max_lift.
+  double max_lift = 0.2;
+  /// Additionally require the independence expectation to be at least
+  /// this many rows, so "exclusive" is distinguishable from noise
+  /// even just above the support floor.
+  double min_expected_intersection = 5.0;
+
+  Status Validate() const;
+};
+
+/// Finds anticorrelated pairs among support-qualified columns with one
+/// scan over the table (co-occurrence counting restricted to
+/// qualified columns), sorted by ascending lift then pair order.
+Result<std::vector<AnticorrelatedPair>> MineAnticorrelated(
+    const BinaryMatrix& matrix, const AnticorrelationConfig& config);
+
+}  // namespace sans
+
+#endif  // SANS_MINE_ANTICORRELATION_H_

@@ -1,0 +1,358 @@
+#include "mine/apriori.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mine/miner.h"
+
+namespace sans {
+namespace {
+
+/// Hash for an itemset (vector of column ids).
+struct ItemsVectorHash {
+  size_t operator()(const std::vector<ColumnId>& items) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (ColumnId c : items) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// True when every (k-1)-subset of `candidate` is in `frequent`.
+bool AllSubsetsFrequent(
+    const std::vector<ColumnId>& candidate,
+    const std::unordered_set<std::vector<ColumnId>, ItemsVectorHash>&
+        frequent) {
+  std::vector<ColumnId> subset(candidate.size() - 1);
+  for (size_t skip = 0; skip < candidate.size(); ++skip) {
+    size_t out = 0;
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      if (i != skip) subset[out++] = candidate[i];
+    }
+    if (frequent.find(subset) == frequent.end()) return false;
+  }
+  return true;
+}
+
+/// Enumerates size-k subsets of `row_items` and increments matching
+/// candidate counters.
+void CountSubsets(
+    const std::vector<ColumnId>& row_items, int k,
+    std::unordered_map<std::vector<ColumnId>, uint64_t, ItemsVectorHash>*
+        counters) {
+  std::vector<size_t> idx(k);
+  std::vector<ColumnId> subset(k);
+  const int n = static_cast<int>(row_items.size());
+  if (n < k) return;
+  // Iterative combination enumeration.
+  for (int i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    for (int i = 0; i < k; ++i) subset[i] = row_items[idx[i]];
+    auto it = counters->find(subset);
+    if (it != counters->end()) ++it->second;
+    // Advance to the next combination.
+    int pos = k - 1;
+    while (pos >= 0 && idx[pos] == static_cast<size_t>(n - k + pos)) --pos;
+    if (pos < 0) break;
+    ++idx[pos];
+    for (int i = pos + 1; i < k; ++i) idx[i] = idx[i - 1] + 1;
+  }
+}
+
+}  // namespace
+
+Status AprioriConfig::Validate() const {
+  if (min_support <= 0.0 || min_support > 1.0) {
+    return Status::InvalidArgument("min_support must lie in (0, 1]");
+  }
+  if (max_itemset_size < 1) {
+    return Status::InvalidArgument("max_itemset_size must be >= 1");
+  }
+  return Status::OK();
+}
+
+Apriori::Apriori(const AprioriConfig& config) : config_(config) {
+  SANS_CHECK(config.Validate().ok());
+}
+
+Result<std::vector<std::vector<Itemset>>> Apriori::MineFrequentItemsets(
+    const BinaryMatrix& matrix) const {
+  const uint64_t min_count = static_cast<uint64_t>(
+      std::ceil(config_.min_support * matrix.num_rows()));
+
+  std::vector<std::vector<Itemset>> levels;
+
+  // L1 straight from column cardinalities.
+  std::vector<Itemset> level1;
+  for (ColumnId c = 0; c < matrix.num_cols(); ++c) {
+    const uint64_t support = matrix.ColumnCardinality(c);
+    if (support >= min_count && support > 0) {
+      level1.push_back(Itemset{{c}, support});
+    }
+  }
+  levels.push_back(std::move(level1));
+
+  std::unordered_set<ColumnId> frequent_items;
+  for (const Itemset& s : levels[0]) frequent_items.insert(s.items[0]);
+
+  for (int k = 2; k <= config_.max_itemset_size; ++k) {
+    const std::vector<Itemset>& prev = levels[k - 2];
+    if (prev.empty()) break;
+
+    // Index of frequent (k-1)-itemsets for the subset-pruning test.
+    std::unordered_set<std::vector<ColumnId>, ItemsVectorHash> prev_set;
+    prev_set.reserve(prev.size());
+    for (const Itemset& s : prev) prev_set.insert(s.items);
+
+    // Candidate generation: join itemsets sharing their first k-2
+    // items (both levels are lexicographically sorted). Level 2 is
+    // special-cased below: materializing all |L1|² join candidates
+    // defeats the purpose when only co-occurring pairs ever get a
+    // nonzero count, so pairs are counted directly from the rows.
+    std::unordered_map<std::vector<ColumnId>, uint64_t, ItemsVectorHash>
+        counters;
+    if (k == 2) {
+      std::vector<ColumnId> row_items;
+      std::vector<ColumnId> key(2);
+      for (RowId r = 0; r < matrix.num_rows(); ++r) {
+        row_items.clear();
+        for (ColumnId c : matrix.Row(r)) {
+          if (frequent_items.count(c) != 0) row_items.push_back(c);
+        }
+        for (size_t i = 0; i < row_items.size(); ++i) {
+          for (size_t j = i + 1; j < row_items.size(); ++j) {
+            key[0] = row_items[i];
+            key[1] = row_items[j];
+            ++counters[key];
+          }
+        }
+        if (config_.max_candidates_per_level != 0 &&
+            counters.size() > config_.max_candidates_per_level) {
+          return Status::Internal(
+              "a-priori pair-counter table exceeded the memory cap");
+        }
+      }
+      std::vector<Itemset> level;
+      for (const auto& [items, count] : counters) {
+        if (count >= min_count) level.push_back(Itemset{items, count});
+      }
+      std::sort(level.begin(), level.end(),
+                [](const Itemset& a, const Itemset& b) {
+                  return a.items < b.items;
+                });
+      const bool empty = level.empty();
+      levels.push_back(std::move(level));
+      if (empty) break;
+      continue;
+    }
+    for (size_t i = 0; i < prev.size(); ++i) {
+      for (size_t j = i + 1; j < prev.size(); ++j) {
+        if (!std::equal(prev[i].items.begin(), prev[i].items.end() - 1,
+                        prev[j].items.begin(), prev[j].items.end() - 1)) {
+          break;  // sorted order: no further j shares the prefix
+        }
+        std::vector<ColumnId> candidate = prev[i].items;
+        candidate.push_back(prev[j].items.back());
+        SANS_CHECK(candidate[candidate.size() - 2] < candidate.back());
+        if (AllSubsetsFrequent(candidate, prev_set)) {
+          counters.emplace(std::move(candidate), 0);
+        }
+      }
+      if (config_.max_candidates_per_level != 0 &&
+          counters.size() > config_.max_candidates_per_level) {
+        return Status::Internal(
+            "a-priori candidate table exceeded the memory cap at level " +
+            std::to_string(k));
+      }
+    }
+    if (counters.empty()) break;
+
+    // Counting pass: enumerate k-subsets of each row restricted to
+    // frequent items.
+    std::vector<ColumnId> row_items;
+    for (RowId r = 0; r < matrix.num_rows(); ++r) {
+      row_items.clear();
+      for (ColumnId c : matrix.Row(r)) {
+        if (frequent_items.count(c) != 0) row_items.push_back(c);
+      }
+      CountSubsets(row_items, k, &counters);
+    }
+
+    std::vector<Itemset> level;
+    for (const auto& [items, count] : counters) {
+      if (count >= min_count) level.push_back(Itemset{items, count});
+    }
+    std::sort(level.begin(), level.end(),
+              [](const Itemset& a, const Itemset& b) {
+                return a.items < b.items;
+              });
+    const bool empty = level.empty();
+    levels.push_back(std::move(level));
+    if (empty) break;
+  }
+  return levels;
+}
+
+Result<AprioriPairReport> AprioriSimilarPairs(const BinaryMatrix& matrix,
+                                              double min_support,
+                                              double similarity_threshold) {
+  if (similarity_threshold <= 0.0 || similarity_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "similarity_threshold must lie in (0, 1]");
+  }
+  AprioriPairReport report;
+  const uint64_t min_count =
+      static_cast<uint64_t>(std::ceil(min_support * matrix.num_rows()));
+
+  // Pass 1: support-prune columns.
+  std::vector<uint8_t> frequent(matrix.num_cols(), 0);
+  {
+    ScopedPhase phase(&report.timers, "1-support-prune");
+    for (ColumnId c = 0; c < matrix.num_cols(); ++c) {
+      if (matrix.ColumnCardinality(c) >= min_count &&
+          matrix.ColumnCardinality(c) > 0) {
+        frequent[c] = 1;
+        ++report.num_frequent_columns;
+      }
+    }
+  }
+
+  // Pass 2: count co-occurrences among frequent columns. This is the
+  // memory hog the paper calls out — one counter per co-occurring
+  // pair of frequent columns.
+  std::unordered_map<ColumnPair, uint64_t, ColumnPairHash> counters;
+  {
+    ScopedPhase phase(&report.timers, "2-pair-count");
+    std::vector<ColumnId> row_items;
+    for (RowId r = 0; r < matrix.num_rows(); ++r) {
+      row_items.clear();
+      for (ColumnId c : matrix.Row(r)) {
+        if (frequent[c] != 0) row_items.push_back(c);
+      }
+      for (size_t i = 0; i < row_items.size(); ++i) {
+        for (size_t j = i + 1; j < row_items.size(); ++j) {
+          ++counters[ColumnPair(row_items[i], row_items[j])];
+        }
+      }
+    }
+    report.num_counted_pairs = counters.size();
+  }
+
+  // End game: screen for similarity.
+  {
+    ScopedPhase phase(&report.timers, "3-screen");
+    for (const auto& [pair, inter] : counters) {
+      const uint64_t uni = matrix.ColumnCardinality(pair.first) +
+                           matrix.ColumnCardinality(pair.second) - inter;
+      const double s = uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+      if (s >= similarity_threshold) {
+        report.pairs.push_back(SimilarPair{pair, s});
+      }
+    }
+    SortPairs(&report.pairs);
+  }
+  return report;
+}
+
+Result<std::vector<AssociationRule>> AprioriAssociationRules(
+    const BinaryMatrix& matrix, const AprioriConfig& config,
+    double min_confidence) {
+  if (min_confidence <= 0.0 || min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must lie in (0, 1]");
+  }
+  Apriori apriori(config);
+  SANS_ASSIGN_OR_RETURN(auto levels, apriori.MineFrequentItemsets(matrix));
+
+  // Support lookup across all frequent itemsets.
+  std::unordered_map<std::vector<ColumnId>, uint64_t, ItemsVectorHash>
+      support;
+  for (const auto& level : levels) {
+    for (const Itemset& s : level) support[s.items] = s.support_count;
+  }
+
+  std::vector<AssociationRule> rules;
+  for (size_t k = 1; k < levels.size(); ++k) {  // itemsets of size >= 2
+    for (const Itemset& s : levels[k]) {
+      const int n = static_cast<int>(s.items.size());
+      SANS_CHECK_LE(n, 62);
+      // Every non-empty proper subset as antecedent.
+      for (uint64_t mask = 1; mask + 1 < (uint64_t{1} << n); ++mask) {
+        std::vector<ColumnId> antecedent;
+        std::vector<ColumnId> consequent;
+        for (int bit = 0; bit < n; ++bit) {
+          if (mask & (uint64_t{1} << bit)) {
+            antecedent.push_back(s.items[bit]);
+          } else {
+            consequent.push_back(s.items[bit]);
+          }
+        }
+        auto it = support.find(antecedent);
+        // Monotonicity guarantees the antecedent is frequent.
+        SANS_CHECK(it != support.end());
+        const double confidence =
+            static_cast<double>(s.support_count) / it->second;
+        if (confidence >= min_confidence) {
+          rules.push_back(AssociationRule{std::move(antecedent),
+                                          std::move(consequent),
+                                          s.support_count, confidence});
+        }
+      }
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& x, const AssociationRule& y) {
+              if (x.confidence != y.confidence) {
+                return x.confidence > y.confidence;
+              }
+              if (x.support_count != y.support_count) {
+                return x.support_count > y.support_count;
+              }
+              return std::tie(x.antecedent, x.consequent) <
+                     std::tie(y.antecedent, y.consequent);
+            });
+  return rules;
+}
+
+Result<std::vector<ConfidenceRule>> AprioriConfidenceRules(
+    const BinaryMatrix& matrix, double min_support, double min_confidence) {
+  if (min_confidence <= 0.0 || min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must lie in (0, 1]");
+  }
+  AprioriConfig config;
+  config.min_support = min_support;
+  config.max_itemset_size = 2;
+  Apriori apriori(config);
+  SANS_ASSIGN_OR_RETURN(auto levels, apriori.MineFrequentItemsets(matrix));
+
+  std::vector<ConfidenceRule> rules;
+  if (levels.size() < 2) return rules;
+  for (const Itemset& pair : levels[1]) {
+    const ColumnId a = pair.items[0];
+    const ColumnId b = pair.items[1];
+    const double conf_ab = static_cast<double>(pair.support_count) /
+                           matrix.ColumnCardinality(a);
+    const double conf_ba = static_cast<double>(pair.support_count) /
+                           matrix.ColumnCardinality(b);
+    if (conf_ab >= min_confidence) {
+      rules.push_back(ConfidenceRule{a, b, conf_ab});
+    }
+    if (conf_ba >= min_confidence) {
+      rules.push_back(ConfidenceRule{b, a, conf_ba});
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const ConfidenceRule& x, const ConfidenceRule& y) {
+              if (x.confidence != y.confidence) {
+                return x.confidence > y.confidence;
+              }
+              return std::tie(x.antecedent, x.consequent) <
+                     std::tie(y.antecedent, y.consequent);
+            });
+  return rules;
+}
+
+}  // namespace sans

@@ -1,0 +1,116 @@
+// The a-priori baseline (Agrawal et al. [1], [2]), the algorithm the
+// paper positions itself against. Implements classic level-wise
+// frequent-itemset mining with support pruning, plus the pair-mining
+// entry point used in the Fig. 4 comparison: find frequent columns,
+// count co-occurrences among them, and report pairs whose similarity
+// (or confidence) clears a threshold.
+//
+// The point the reproduction makes: a-priori's work grows steeply as
+// the support threshold drops (the pair-counter table approaches m²/2
+// entries), while the paper's hashing schemes are indifferent to
+// support.
+
+#ifndef SANS_MINE_APRIORI_H_
+#define SANS_MINE_APRIORI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "matrix/binary_matrix.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace sans {
+
+/// A frequent itemset with its support count.
+struct Itemset {
+  std::vector<ColumnId> items;  // strictly increasing
+  uint64_t support_count = 0;
+
+  friend bool operator==(const Itemset&, const Itemset&) = default;
+};
+
+/// Options for frequent-itemset mining.
+struct AprioriConfig {
+  /// Minimum support as a fraction of rows (an itemset is frequent
+  /// when it appears in >= min_support * num_rows rows).
+  double min_support = 0.01;
+  /// Largest itemset size to mine (the paper's comparison needs 2).
+  int max_itemset_size = 2;
+  /// Abort with a ResourceExhausted-style error if a level's
+  /// candidate count exceeds this (models the paper's observation
+  /// that a-priori "runs out of memory" at low support). 0 = no cap.
+  uint64_t max_candidates_per_level = 0;
+
+  Status Validate() const;
+};
+
+/// Level-wise frequent-itemset miner.
+class Apriori {
+ public:
+  explicit Apriori(const AprioriConfig& config);
+
+  /// Returns levels[k-1] = all frequent itemsets of size k, each level
+  /// sorted lexicographically. Requires max_itemset_size levels at
+  /// most; stops early when a level comes out empty.
+  Result<std::vector<std::vector<Itemset>>> MineFrequentItemsets(
+      const BinaryMatrix& matrix) const;
+
+  const AprioriConfig& config() const { return config_; }
+
+ private:
+  AprioriConfig config_;
+};
+
+/// Outcome of the pair-similarity entry point.
+struct AprioriPairReport {
+  /// Columns surviving support pruning (the |L_1| of the run).
+  uint64_t num_frequent_columns = 0;
+  /// Distinct co-occurring pairs of frequent columns counted (the
+  /// memory driver).
+  uint64_t num_counted_pairs = 0;
+  /// Pairs with similarity >= the query threshold, sorted descending.
+  std::vector<SimilarPair> pairs;
+  PhaseTimer timers;
+};
+
+/// Fig. 4 entry point: support-prune columns at `min_support`, count
+/// co-occurrences among survivors, report pairs with similarity >=
+/// `similarity_threshold`. Note the contrast with the paper's miners:
+/// any similar pair involving an infrequent column is invisible here.
+Result<AprioriPairReport> AprioriSimilarPairs(const BinaryMatrix& matrix,
+                                              double min_support,
+                                              double similarity_threshold);
+
+/// All association rules a ⇒ b among frequent pairs with confidence
+/// >= min_confidence (the classic end-game screening).
+Result<std::vector<ConfidenceRule>> AprioriConfidenceRules(
+    const BinaryMatrix& matrix, double min_support, double min_confidence);
+
+/// A general association rule A ⇒ B over itemsets (A, B disjoint,
+/// both non-empty, A ∪ B frequent).
+struct AssociationRule {
+  std::vector<ColumnId> antecedent;  // strictly increasing
+  std::vector<ColumnId> consequent;  // strictly increasing
+  uint64_t support_count = 0;        // supp(A ∪ B)
+  double confidence = 0.0;           // supp(A ∪ B) / supp(A)
+
+  friend bool operator==(const AssociationRule&,
+                         const AssociationRule&) = default;
+};
+
+/// The classic rule end-game over all frequent itemsets up to
+/// config.max_itemset_size: for every frequent S and every non-empty
+/// proper subset A, emit A ⇒ S \ A when supp(S)/supp(A) >=
+/// min_confidence. Rules are sorted by descending confidence, then
+/// descending support, then lexicographically. Itemset sizes are
+/// expected small (the paper's comparison uses pairs); subset
+/// enumeration is O(2^|S|) per itemset.
+Result<std::vector<AssociationRule>> AprioriAssociationRules(
+    const BinaryMatrix& matrix, const AprioriConfig& config,
+    double min_confidence);
+
+}  // namespace sans
+
+#endif  // SANS_MINE_APRIORI_H_

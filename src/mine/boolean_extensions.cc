@@ -1,0 +1,94 @@
+#include "mine/boolean_extensions.h"
+
+#include <algorithm>
+
+namespace sans {
+namespace {
+
+/// Exact algebraic identity: with s = S(c_i, c_j),
+/// |C_i ∪ C_j| = (|C_i| + |C_j|) / (1 + s), hence
+/// conf(c_i ⇒ c_j) = s · |C_i ∪ C_j| / |C_i|
+///               = s · (|C_i| + |C_j|) / ((1 + s) · |C_i|).
+double ConfidenceFromSimilarity(double s, uint64_t card_i, uint64_t card_j) {
+  if (card_i == 0) return 0.0;
+  const double conf = s * (static_cast<double>(card_i) + card_j) /
+                      ((1.0 + s) * card_i);
+  return std::clamp(conf, 0.0, 1.0);
+}
+
+}  // namespace
+
+Result<std::vector<uint64_t>> OrSignature(
+    const SignatureMatrix& signatures,
+    const std::vector<ColumnId>& columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("disjunction of zero columns");
+  }
+  for (ColumnId c : columns) {
+    if (c >= signatures.num_cols()) {
+      return Status::OutOfRange("column id exceeds signature width");
+    }
+  }
+  std::vector<uint64_t> result(signatures.num_hashes(), kEmptyMinHash);
+  for (int l = 0; l < signatures.num_hashes(); ++l) {
+    for (ColumnId c : columns) {
+      result[l] = std::min(result[l], signatures.Value(l, c));
+    }
+  }
+  return result;
+}
+
+Result<double> EstimateOrSimilarity(const SignatureMatrix& signatures,
+                                    ColumnId target,
+                                    const std::vector<ColumnId>& columns) {
+  if (target >= signatures.num_cols()) {
+    return Status::OutOfRange("target column exceeds signature width");
+  }
+  SANS_ASSIGN_OR_RETURN(std::vector<uint64_t> or_sig,
+                        OrSignature(signatures, columns));
+  if (signatures.ColumnEmpty(target) || or_sig[0] == kEmptyMinHash) {
+    return 0.0;
+  }
+  int equal = 0;
+  for (int l = 0; l < signatures.num_hashes(); ++l) {
+    if (signatures.Value(l, target) == or_sig[l]) ++equal;
+  }
+  return static_cast<double>(equal) / signatures.num_hashes();
+}
+
+Result<std::vector<uint64_t>> OrSketchSignature(
+    const KMinHashSketch& sketch, const std::vector<ColumnId>& columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("disjunction of zero columns");
+  }
+  for (ColumnId c : columns) {
+    if (c >= sketch.num_cols()) {
+      return Status::OutOfRange("column id exceeds sketch width");
+    }
+  }
+  std::vector<uint64_t> result(sketch.Signature(columns[0]).begin(),
+                               sketch.Signature(columns[0]).end());
+  for (size_t i = 1; i < columns.size(); ++i) {
+    result = MergeSignatures(result, sketch.Signature(columns[i]),
+                             sketch.k());
+  }
+  return result;
+}
+
+bool ImpliesConjunction(const ConjunctionEvidence& evidence,
+                        double confidence_floor,
+                        uint64_t min_antecedent_rows) {
+  // Tiny antecedents make any implication statistically meaningless
+  // (paper Section 7: "it is difficult to associate any statistical
+  // significance to the similarity in that case").
+  if (evidence.antecedent_cardinality < min_antecedent_rows) return false;
+  const double conf_first = ConfidenceFromSimilarity(
+      evidence.similarity_to_first, evidence.antecedent_cardinality,
+      evidence.first_cardinality);
+  const double conf_second = ConfidenceFromSimilarity(
+      evidence.similarity_to_second, evidence.antecedent_cardinality,
+      evidence.second_cardinality);
+  return conf_first >= confidence_floor && conf_second >= confidence_floor;
+}
+
+}  // namespace sans

@@ -1,0 +1,63 @@
+// Boolean-expression extensions (paper Section 7): signatures of
+// derived columns.
+//
+//  * OR: the min-hash signature of c_j ∨ c_j' is the component-wise
+//    minimum of the two signatures (the minimum over C_j ∪ C_j' is
+//    the minimum of the per-column minima). For bottom-k sketches the
+//    OR signature is MergeSignatures.
+//  * AND: no direct composition exists; the paper's route is
+//    "c_i implies c_j ∧ c_j'" iff c_i implies both, confirmed by
+//    |C_i| ≈ |C_i ∩ C_j ∩ C_j'| — approximated here via the
+//    similarity of c_i to each conjunct and the cardinality check.
+
+#ifndef SANS_MINE_BOOLEAN_EXTENSIONS_H_
+#define SANS_MINE_BOOLEAN_EXTENSIONS_H_
+
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "sketch/k_min_hash.h"
+#include "sketch/signature_matrix.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// Component-wise minimum of min-hash signatures: the signature the
+/// virtual column (c_1 ∨ c_2 ∨ ...) would have received. All columns
+/// must exist in `signatures`; at least one column required.
+Result<std::vector<uint64_t>> OrSignature(
+    const SignatureMatrix& signatures, const std::vector<ColumnId>& columns);
+
+/// Estimated similarity between column `target` and the disjunction
+/// of `columns`: fraction of hash rows where target's value equals
+/// the OR signature's value.
+Result<double> EstimateOrSimilarity(const SignatureMatrix& signatures,
+                                    ColumnId target,
+                                    const std::vector<ColumnId>& columns);
+
+/// Bottom-k signature of a disjunction: k smallest of the union of
+/// the columns' signatures.
+Result<std::vector<uint64_t>> OrSketchSignature(
+    const KMinHashSketch& sketch, const std::vector<ColumnId>& columns);
+
+/// Section 7 conjunction-implication test: "c_i implies c_j ∧ c_j'".
+/// Inputs are estimated similarities of c_i to each conjunct plus the
+/// exact cardinalities. Returns true when both implications hold at
+/// `confidence_floor` (via the similarity lower bound on confidence
+/// scaled by cardinality ratios) and the antecedent is not too small
+/// to be statistically meaningful (`min_antecedent_rows`).
+struct ConjunctionEvidence {
+  double similarity_to_first = 0.0;
+  double similarity_to_second = 0.0;
+  uint64_t antecedent_cardinality = 0;
+  uint64_t first_cardinality = 0;
+  uint64_t second_cardinality = 0;
+};
+bool ImpliesConjunction(const ConjunctionEvidence& evidence,
+                        double confidence_floor,
+                        uint64_t min_antecedent_rows);
+
+}  // namespace sans
+
+#endif  // SANS_MINE_BOOLEAN_EXTENSIONS_H_

@@ -1,0 +1,72 @@
+#include "mine/brute_force.h"
+
+#include <algorithm>
+
+#include "mine/miner.h"
+
+namespace sans {
+
+Result<std::unordered_map<ColumnPair, uint64_t, ColumnPairHash>>
+ExactIntersectionCounts(RowStream* rows) {
+  SANS_RETURN_IF_ERROR(rows->Reset());
+  std::unordered_map<ColumnPair, uint64_t, ColumnPairHash> counts;
+  RowView view;
+  while (rows->Next(&view)) {
+    const auto& cols = view.columns;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      for (size_t j = i + 1; j < cols.size(); ++j) {
+        ++counts[ColumnPair(cols[i], cols[j])];
+      }
+    }
+  }
+  return counts;
+}
+
+namespace {
+
+Result<std::vector<SimilarPair>> PairsAboveThreshold(
+    const BinaryMatrix& matrix, double threshold) {
+  InMemoryRowStream stream(&matrix);
+  SANS_ASSIGN_OR_RETURN(auto counts, ExactIntersectionCounts(&stream));
+  std::vector<SimilarPair> pairs;
+  for (const auto& [pair, inter] : counts) {
+    const uint64_t uni = matrix.ColumnCardinality(pair.first) +
+                         matrix.ColumnCardinality(pair.second) - inter;
+    const double s = uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+    if (s >= threshold && s > 0.0) {
+      pairs.push_back(SimilarPair{pair, s});
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+Result<std::vector<SimilarPair>> BruteForceSimilarPairs(
+    const BinaryMatrix& matrix, double threshold) {
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return Status::InvalidArgument("threshold must lie in (0, 1]");
+  }
+  SANS_ASSIGN_OR_RETURN(std::vector<SimilarPair> pairs,
+                        PairsAboveThreshold(matrix, threshold));
+  SortPairs(&pairs);
+  return pairs;
+}
+
+Result<std::vector<SimilarPair>> BruteForceAllNonzeroPairs(
+    const BinaryMatrix& matrix) {
+  return PairsAboveThreshold(matrix, 0.0);
+}
+
+Result<std::vector<SimilarPair>> TopKSimilarPairs(
+    const BinaryMatrix& matrix, size_t k) {
+  SANS_ASSIGN_OR_RETURN(std::vector<SimilarPair> pairs,
+                        PairsAboveThreshold(matrix, 0.0));
+  const size_t keep = std::min(k, pairs.size());
+  std::partial_sort(pairs.begin(), pairs.begin() + keep, pairs.end(),
+                    BySimilarityDesc());
+  pairs.resize(keep);
+  return pairs;
+}
+
+}  // namespace sans

@@ -1,0 +1,47 @@
+// Exact all-pairs similarity via co-occurrence counting — the
+// "offline brute-force counting algorithm" the paper uses to compute
+// ground truth for the S-curves of Section 5.1. Cost is
+// Σ_rows |row|², far cheaper than m² column intersections on sparse
+// data, at the price of one counter per co-occurring pair.
+
+#ifndef SANS_MINE_BRUTE_FORCE_H_
+#define SANS_MINE_BRUTE_FORCE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "matrix/binary_matrix.h"
+#include "matrix/row_stream.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// Exact |C_i ∩ C_j| for every pair that co-occurs in at least one
+/// row (absent pairs have intersection 0, hence similarity 0).
+/// Streams the table once.
+Result<std::unordered_map<ColumnPair, uint64_t, ColumnPairHash>>
+ExactIntersectionCounts(RowStream* rows);
+
+/// All pairs with exact similarity >= threshold, sorted by descending
+/// similarity. threshold must be positive (a zero threshold would
+/// include all m² pairs).
+Result<std::vector<SimilarPair>> BruteForceSimilarPairs(
+    const BinaryMatrix& matrix, double threshold);
+
+/// All co-occurring pairs with their exact similarity (similarity-0
+/// pairs excluded), unsorted. The ground-truth input for S-curves and
+/// exact similarity histograms.
+Result<std::vector<SimilarPair>> BruteForceAllNonzeroPairs(
+    const BinaryMatrix& matrix);
+
+/// The k most similar pairs, exactly, by descending similarity
+/// (deterministic tie-break). Convenience for threshold-free
+/// exploration; cost is the same co-occurrence scan as the other
+/// brute-force entry points, so intended for in-memory tables.
+Result<std::vector<SimilarPair>> TopKSimilarPairs(
+    const BinaryMatrix& matrix, size_t k);
+
+}  // namespace sans
+
+#endif  // SANS_MINE_BRUTE_FORCE_H_

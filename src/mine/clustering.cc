@@ -1,0 +1,113 @@
+#include "mine/clustering.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/union_find.h"
+
+namespace sans {
+
+Status ClusteringOptions::Validate() const {
+  if (min_similarity < 0.0 || min_similarity > 1.0) {
+    return Status::InvalidArgument("min_similarity must lie in [0, 1]");
+  }
+  if (min_cluster_size < 2) {
+    return Status::InvalidArgument("min_cluster_size must be >= 2");
+  }
+  if (min_cohesion < 0.0 || min_cohesion > 1.0) {
+    return Status::InvalidArgument("min_cohesion must lie in [0, 1]");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Number of unordered pairs among n members.
+double PairsAmong(size_t n) {
+  return 0.5 * static_cast<double>(n) * (static_cast<double>(n) - 1.0);
+}
+
+}  // namespace
+
+Result<std::vector<SimilarityCluster>> ExtractClusters(
+    const std::vector<SimilarPair>& pairs, ColumnId num_cols,
+    const ClusteringOptions& options) {
+  SANS_RETURN_IF_ERROR(options.Validate());
+
+  // Edge set above the floor.
+  std::unordered_set<ColumnPair, ColumnPairHash> edges;
+  UnionFind components(num_cols);
+  for (const SimilarPair& p : pairs) {
+    if (p.similarity < options.min_similarity) continue;
+    if (p.pair.second >= num_cols) {
+      return Status::OutOfRange("pair column exceeds num_cols");
+    }
+    if (edges.insert(p.pair).second) {
+      components.Union(p.pair.first, p.pair.second);
+    }
+  }
+
+  // Group members by component root.
+  std::unordered_map<size_t, std::vector<ColumnId>> by_root;
+  for (const ColumnPair& e : edges) {
+    by_root[components.Find(e.first)];  // ensure the key exists
+  }
+  for (ColumnId c = 0; c < num_cols; ++c) {
+    auto it = by_root.find(components.Find(c));
+    if (it != by_root.end()) it->second.push_back(c);
+  }
+
+  // Per-member degree lookup within a member set.
+  const auto intra_degrees =
+      [&edges](const std::vector<ColumnId>& members) {
+        std::unordered_map<ColumnId, int> degree;
+        for (ColumnId m : members) degree[m] = 0;
+        for (size_t i = 0; i < members.size(); ++i) {
+          for (size_t j = i + 1; j < members.size(); ++j) {
+            if (edges.count(ColumnPair(members[i], members[j])) != 0) {
+              ++degree[members[i]];
+              ++degree[members[j]];
+            }
+          }
+        }
+        return degree;
+      };
+
+  std::vector<SimilarityCluster> clusters;
+  for (auto& [root, members] : by_root) {
+    std::sort(members.begin(), members.end());
+    // Greedy peel toward the cohesion bar.
+    while (static_cast<int>(members.size()) >= options.min_cluster_size) {
+      auto degree = intra_degrees(members);
+      double edge_count = 0.0;
+      ColumnId weakest = members[0];
+      int weakest_degree = degree[members[0]];
+      for (ColumnId m : members) {
+        edge_count += degree[m];
+        if (degree[m] < weakest_degree) {
+          weakest_degree = degree[m];
+          weakest = m;
+        }
+      }
+      edge_count /= 2.0;
+      const double cohesion = edge_count / PairsAmong(members.size());
+      if (cohesion >= options.min_cohesion) {
+        clusters.push_back(SimilarityCluster{members, cohesion});
+        break;
+      }
+      members.erase(std::find(members.begin(), members.end(), weakest));
+    }
+  }
+
+  std::sort(clusters.begin(), clusters.end(),
+            [](const SimilarityCluster& a, const SimilarityCluster& b) {
+              if (a.members.size() != b.members.size()) {
+                return a.members.size() > b.members.size();
+              }
+              return a.members < b.members;
+            });
+  return clusters;
+}
+
+}  // namespace sans

@@ -1,0 +1,61 @@
+// Cluster extraction from mined similar pairs (paper Section 2: the
+// (chess, Timman, Karpov, Soviet, Ivanchuk, Polger) example — "groups
+// of words for which most of the pairs in the group have high
+// similarity").
+//
+// Two extractors:
+//  * connected components of the similar-pair graph at a similarity
+//    floor (cheap, can chain);
+//  * quasi-clique refinement: components are filtered so that each
+//    reported cluster has average pairwise-connectivity (fraction of
+//    member pairs present in the input) at least `min_cohesion`,
+//    splitting off weakly attached members greedily.
+
+#ifndef SANS_MINE_CLUSTERING_H_
+#define SANS_MINE_CLUSTERING_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// A mined cluster: its member columns (ascending) and the cohesion =
+/// (edges present among members) / (member pairs).
+struct SimilarityCluster {
+  std::vector<ColumnId> members;
+  double cohesion = 0.0;
+
+  friend bool operator==(const SimilarityCluster&,
+                         const SimilarityCluster&) = default;
+};
+
+/// Options for cluster extraction.
+struct ClusteringOptions {
+  /// Pairs below this similarity are ignored.
+  double min_similarity = 0.5;
+  /// Clusters must have at least this many members.
+  int min_cluster_size = 2;
+  /// Minimum fraction of member pairs that must be edges. 0 keeps raw
+  /// connected components; the paper's "most of the pairs" reading
+  /// suggests ~0.5+.
+  double min_cohesion = 0.0;
+
+  Status Validate() const;
+};
+
+/// Extracts clusters from `pairs` (typically a miner's verified
+/// output) over a table of `num_cols` columns. Deterministic: members
+/// ascending, clusters ordered by (descending size, first member).
+/// When min_cohesion > 0, components are greedily peeled: the member
+/// with the fewest intra-component edges is removed until the
+/// component meets the cohesion bar or shrinks below
+/// min_cluster_size.
+Result<std::vector<SimilarityCluster>> ExtractClusters(
+    const std::vector<SimilarPair>& pairs, ColumnId num_cols,
+    const ClusteringOptions& options);
+
+}  // namespace sans
+
+#endif  // SANS_MINE_CLUSTERING_H_

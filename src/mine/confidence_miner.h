@@ -1,0 +1,71 @@
+// High-confidence association rules without support (paper Section 6).
+// conf(c_i ⇒ c_j) = S(c_i, c_j) · |C_i ∪ C_j| / |C_i|, and
+// Pr[h(c_i) <= h(c_j)] = |C_i| / |C_i ∪ C_j|, so the signature matrix
+// yields the confidence estimate
+//
+//   conf^(c_i ⇒ c_j) = FractionEqual(i, j) / FractionLessOrEqual(i, j).
+//
+// Candidate selection combines the paper's two techniques:
+//  (a) S(c_i, c_j) lower-bounds both directed confidences, so pairs
+//      whose similarity estimate clears the confidence threshold are
+//      candidates outright;
+//  (b) when conf(c_i ⇒ c_j) ≈ 1, S(c_i, c_j) ≈ |C_i| / |C_j|, so
+//      pairs whose similarity estimate is within a tolerance of the
+//      cardinality ratio are candidates too.
+// All candidates are verified exactly in a final scan, so the output
+// has no false positives.
+
+#ifndef SANS_MINE_CONFIDENCE_MINER_H_
+#define SANS_MINE_CONFIDENCE_MINER_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "matrix/row_stream.h"
+#include "sketch/min_hash.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace sans {
+
+/// Configuration of the confidence miner.
+struct ConfidenceMinerConfig {
+  MinHashConfig min_hash;
+  /// Pairs whose estimated similarity exceeds slack · threshold enter
+  /// the candidate set via technique (a). The slack (< 1) absorbs
+  /// estimation noise; it also feeds the run-length candidate scan.
+  double similarity_slack = 0.75;
+  /// Technique (b) tolerance: |Ŝ - |C_i|/|C_j|| <= ratio_tolerance
+  /// marks a near-1-confidence candidate.
+  double ratio_tolerance = 0.1;
+
+  Status Validate() const;
+};
+
+/// Result of a confidence mining run.
+struct ConfidenceReport {
+  /// Verified rules with exact confidence >= the query threshold,
+  /// sorted by descending confidence.
+  std::vector<ConfidenceRule> rules;
+  uint64_t num_candidates = 0;
+  PhaseTimer timers;
+};
+
+/// Three-phase high-confidence rule miner.
+class ConfidenceMiner {
+ public:
+  explicit ConfidenceMiner(const ConfidenceMinerConfig& config);
+
+  /// Finds all directed rules with confidence >= threshold.
+  Result<ConfidenceReport> Mine(const RowStreamSource& source,
+                                double threshold);
+
+  const ConfidenceMinerConfig& config() const { return config_; }
+
+ private:
+  ConfidenceMinerConfig config_;
+};
+
+}  // namespace sans
+
+#endif  // SANS_MINE_CONFIDENCE_MINER_H_

@@ -1,0 +1,90 @@
+// Disjunction-rule mining (paper Section 7): "We can use our
+// Min-Hashing scheme to determine more complex relationships, e.g.,
+// c_i is highly-similar to c_j ∨ c_j', since the hash values for the
+// induced column c_j ∨ c_j' can be easily computed by taking the
+// component-wise minimum of the hash value signatures."
+//
+// Search strategy: for each target column c_i, pair up columns from
+// c_i's similar-pair neighbourhood (candidates must already share
+// min-hash evidence with c_i — a disjunct contributing nothing to the
+// similarity would never raise it), estimate S(c_i, c_j ∨ c_j') from
+// the OR of the signatures, and verify survivors exactly against the
+// data. Only rules strictly better than both underlying pair
+// similarities are reported (otherwise the pair rule subsumes them).
+
+#ifndef SANS_MINE_DISJUNCTION_MINER_H_
+#define SANS_MINE_DISJUNCTION_MINER_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "matrix/binary_matrix.h"
+#include "sketch/min_hash.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// A verified disjunction rule: S(target, a ∨ b) = similarity.
+struct DisjunctionRule {
+  ColumnId target = 0;
+  ColumnId disjunct_a = 0;
+  ColumnId disjunct_b = 0;
+  /// Exact S(target, a ∨ b).
+  double similarity = 0.0;
+  /// Exact pairwise similarities for comparison.
+  double pair_similarity_a = 0.0;
+  double pair_similarity_b = 0.0;
+
+  friend bool operator==(const DisjunctionRule&,
+                         const DisjunctionRule&) = default;
+};
+
+/// Configuration of the disjunction miner.
+struct DisjunctionMinerConfig {
+  MinHashConfig min_hash;
+  /// Pairs with estimated pair similarity >= this enter a target's
+  /// neighbourhood (candidate disjuncts).
+  double neighbour_floor = 0.2;
+  /// Cap on neighbourhood size per target (the paper warns about
+  /// exponential blowup for wider expressions; pairs of disjuncts are
+  /// quadratic in this cap).
+  int max_neighbours = 16;
+  /// Estimated S(target, a ∨ b) must reach slack · threshold to be
+  /// verified.
+  double estimate_slack = 0.75;
+
+  Status Validate() const;
+};
+
+/// Mining report.
+struct DisjunctionReport {
+  /// Verified rules with similarity >= the query threshold and
+  /// strictly above both pair similarities, sorted by descending
+  /// similarity.
+  std::vector<DisjunctionRule> rules;
+  uint64_t num_candidates = 0;
+};
+
+/// Runs the search over an in-memory matrix (exact verification needs
+/// random access to the three columns of every candidate rule).
+class DisjunctionMiner {
+ public:
+  explicit DisjunctionMiner(const DisjunctionMinerConfig& config);
+
+  Result<DisjunctionReport> Mine(const BinaryMatrix& matrix,
+                                 double threshold);
+
+  const DisjunctionMinerConfig& config() const { return config_; }
+
+ private:
+  DisjunctionMinerConfig config_;
+};
+
+/// Exact S(target, a ∨ b) by three-way sorted merge over the
+/// column-major view.
+double ExactOrSimilarity(const BinaryMatrix& matrix, ColumnId target,
+                         ColumnId a, ColumnId b);
+
+}  // namespace sans
+
+#endif  // SANS_MINE_DISJUNCTION_MINER_H_

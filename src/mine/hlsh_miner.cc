@@ -1,0 +1,49 @@
+#include "mine/hlsh_miner.h"
+
+#include "candgen/candidate_set.h"
+#include "mine/verifier.h"
+
+namespace sans {
+
+HlshMiner::HlshMiner(const HlshMinerConfig& config) : config_(config) {
+  SANS_CHECK(config.Validate().ok());
+}
+
+Result<MiningReport> HlshMiner::Mine(const RowStreamSource& source,
+                                     double threshold) {
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return Status::InvalidArgument("threshold must lie in (0, 1]");
+  }
+  MiningReport report;
+  level_stats_.clear();
+
+  // Phase 1 for H-LSH is materialization: the scheme works on the
+  // data itself, not on a sketch.
+  BinaryMatrix matrix(0, 0);
+  {
+    ScopedPhase phase(&report.timers, kPhaseSignatures);
+    SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream, source.Open());
+    SANS_ASSIGN_OR_RETURN(matrix, MaterializeStream(stream.get()));
+  }
+
+  // Phase 2: pyramid + density-banded bucketing.
+  CandidateSet candidates;
+  {
+    ScopedPhase phase(&report.timers, kPhaseCandidates);
+    HammingLshCandidateGenerator generator(config_.lsh);
+    candidates = generator.GenerateWithStats(matrix, &level_stats_);
+  }
+  report.candidates = candidates.SortedPairs();
+  report.num_candidates = report.candidates.size();
+
+  // Phase 3: exact verification.
+  {
+    ScopedPhase phase(&report.timers, kPhaseVerify);
+    SANS_ASSIGN_OR_RETURN(
+        report.pairs,
+        VerifyCandidates(source, report.candidates, threshold));
+  }
+  return report;
+}
+
+}  // namespace sans

@@ -1,0 +1,49 @@
+// The H-LSH miner (paper Section 4.2): Hamming-distance LSH directly
+// on the data via the OR-fold pyramid and density bands. Unlike the
+// min-hash schemes it needs random row access at every pyramid level,
+// so the table is materialized in memory for phase 2 (the paper also
+// operates on the actual data here). Verification still runs as a
+// stream scan, keeping the output free of false positives.
+
+#ifndef SANS_MINE_HLSH_MINER_H_
+#define SANS_MINE_HLSH_MINER_H_
+
+#include <vector>
+
+#include "candgen/hamming_lsh.h"
+#include "mine/miner.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// Configuration of the H-LSH miner.
+struct HlshMinerConfig {
+  HammingLshConfig lsh;
+
+  Status Validate() const { return lsh.Validate(); }
+};
+
+/// Three-phase Hamming-LSH miner.
+class HlshMiner final : public Miner {
+ public:
+  explicit HlshMiner(const HlshMinerConfig& config);
+
+  std::string name() const override { return "H-LSH"; }
+  Result<MiningReport> Mine(const RowStreamSource& source,
+                            double threshold) override;
+
+  /// Per-level statistics of the last Mine() call.
+  const std::vector<HammingLshLevelStats>& last_level_stats() const {
+    return level_stats_;
+  }
+
+  const HlshMinerConfig& config() const { return config_; }
+
+ private:
+  HlshMinerConfig config_;
+  std::vector<HammingLshLevelStats> level_stats_;
+};
+
+}  // namespace sans
+
+#endif  // SANS_MINE_HLSH_MINER_H_

@@ -1,0 +1,76 @@
+#include "mine/kmh_miner.h"
+
+#include <algorithm>
+
+#include "candgen/candidate_set.h"
+#include "candgen/hash_count.h"
+#include "mine/verifier.h"
+#include "sketch/estimators.h"
+
+namespace sans {
+
+Status KmhMinerConfig::Validate() const {
+  SANS_RETURN_IF_ERROR(sketch.Validate());
+  if (hash_count_slack <= 0.0 || hash_count_slack > 1.0) {
+    return Status::InvalidArgument("hash_count_slack must lie in (0, 1]");
+  }
+  if (delta < 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must lie in [0, 1)");
+  }
+  return Status::OK();
+}
+
+KmhMiner::KmhMiner(const KmhMinerConfig& config) : config_(config) {
+  SANS_CHECK(config.Validate().ok());
+}
+
+Result<MiningReport> KmhMiner::Mine(const RowStreamSource& source,
+                                    double threshold) {
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return Status::InvalidArgument("threshold must lie in (0, 1]");
+  }
+  MiningReport report;
+
+  // Phase 1: bottom-k sketch computation (single pass, one hash/row).
+  KMinHashSketch sketch(1, 0);
+  {
+    ScopedPhase phase(&report.timers, kPhaseSignatures);
+    KMinHashGenerator generator(config_.sketch);
+    SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream, source.Open());
+    SANS_ASSIGN_OR_RETURN(sketch, generator.Compute(stream.get()));
+  }
+
+  // Phase 2a: biased Hash-Count filter on |SIG_i ∩ SIG_j|.
+  // Phase 2b: unbiased Theorem-2 pruning of survivors.
+  std::vector<ColumnPair> survivors;
+  {
+    ScopedPhase phase(&report.timers, kPhaseCandidates);
+    // Adaptive Lemma-1 cut: proportional to each pair's signature
+    // sizes, so columns sparser than k are filtered fairly.
+    const CandidateSet candidates = HashCountKMinHashAdaptive(
+        sketch, config_.hash_count_slack * threshold);
+    const double prune_floor = (1.0 - config_.delta) * threshold;
+    for (const auto& [pair, count] : candidates) {
+      if (config_.unbiased_pruning) {
+        const double estimate = EstimateSimilarityUnbiased(
+            sketch.Signature(pair.first), sketch.Signature(pair.second),
+            config_.sketch.k);
+        if (estimate < prune_floor) continue;
+      }
+      survivors.push_back(pair);
+    }
+    std::sort(survivors.begin(), survivors.end());
+  }
+  report.candidates = survivors;
+  report.num_candidates = survivors.size();
+
+  // Phase 3: exact verification (second pass).
+  {
+    ScopedPhase phase(&report.timers, kPhaseVerify);
+    SANS_ASSIGN_OR_RETURN(report.pairs,
+                          VerifyCandidates(source, survivors, threshold));
+  }
+  return report;
+}
+
+}  // namespace sans

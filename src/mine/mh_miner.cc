@@ -1,0 +1,72 @@
+#include "mine/mh_miner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "candgen/hash_count.h"
+#include "candgen/row_sort.h"
+#include "mine/verifier.h"
+
+namespace sans {
+
+Status MhMinerConfig::Validate() const {
+  SANS_RETURN_IF_ERROR(min_hash.Validate());
+  if (delta < 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must lie in [0, 1)");
+  }
+  return Status::OK();
+}
+
+MhMiner::MhMiner(const MhMinerConfig& config) : config_(config) {
+  SANS_CHECK(config.Validate().ok());
+}
+
+Result<MiningReport> MhMiner::Mine(const RowStreamSource& source,
+                                   double threshold) {
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return Status::InvalidArgument("threshold must lie in (0, 1]");
+  }
+  MiningReport report;
+
+  // Phase 1: signature computation (single pass).
+  SignatureMatrix signatures(1, 0);
+  {
+    ScopedPhase phase(&report.timers, kPhaseSignatures);
+    MinHashGenerator generator(config_.min_hash);
+    SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream, source.Open());
+    SANS_ASSIGN_OR_RETURN(signatures, generator.Compute(stream.get()));
+  }
+
+  // Phase 2: candidate generation in main memory.
+  CandidateSet candidates;
+  {
+    ScopedPhase phase(&report.timers, kPhaseCandidates);
+    const int k = config_.min_hash.num_hashes;
+    const int min_agreements = std::max(
+        1,
+        static_cast<int>(std::ceil((1.0 - config_.delta) * threshold * k)));
+    switch (config_.candidates) {
+      case MhCandidateAlgorithm::kRowSort: {
+        RowSorter sorter(&signatures);
+        candidates = sorter.Candidates(min_agreements);
+        break;
+      }
+      case MhCandidateAlgorithm::kHashCount:
+        candidates = HashCountMinHash(signatures, min_agreements);
+        break;
+    }
+  }
+  report.candidates = candidates.SortedPairs();
+  report.num_candidates = report.candidates.size();
+
+  // Phase 3: exact verification (second pass).
+  {
+    ScopedPhase phase(&report.timers, kPhaseVerify);
+    SANS_ASSIGN_OR_RETURN(
+        report.pairs,
+        VerifyCandidates(source, report.candidates, threshold));
+  }
+  return report;
+}
+
+}  // namespace sans

@@ -1,0 +1,51 @@
+// The MH miner (paper Sections 3, 3.1, 5): Min-Hash signatures with k
+// independent permutations; candidates are pairs agreeing on at least
+// a (1-δ)·s* fraction of min-hash values, found by row-sorting or
+// hash-counting; exact verification removes false positives.
+
+#ifndef SANS_MINE_MH_MINER_H_
+#define SANS_MINE_MH_MINER_H_
+
+#include "mine/miner.h"
+#include "sketch/min_hash.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// Which Section 3.1 candidate-generation algorithm to run (identical
+/// output, different constants; see bench/micro_candgen).
+enum class MhCandidateAlgorithm {
+  kRowSort,
+  kHashCount,
+};
+
+/// Configuration of the MH miner.
+struct MhMinerConfig {
+  MinHashConfig min_hash;
+  MhCandidateAlgorithm candidates = MhCandidateAlgorithm::kRowSort;
+  /// δ of Theorem 1: candidates must agree on >= (1-δ)·s*·k values.
+  /// Larger δ admits more candidates (fewer false negatives, more
+  /// verification work).
+  double delta = 0.2;
+
+  Status Validate() const;
+};
+
+/// Three-phase Min-Hash miner.
+class MhMiner final : public Miner {
+ public:
+  explicit MhMiner(const MhMinerConfig& config);
+
+  std::string name() const override { return "MH"; }
+  Result<MiningReport> Mine(const RowStreamSource& source,
+                            double threshold) override;
+
+  const MhMinerConfig& config() const { return config_; }
+
+ private:
+  MhMinerConfig config_;
+};
+
+}  // namespace sans
+
+#endif  // SANS_MINE_MH_MINER_H_

@@ -1,0 +1,11 @@
+#include "mine/miner.h"
+
+#include <algorithm>
+
+namespace sans {
+
+void SortPairs(std::vector<SimilarPair>* pairs) {
+  std::sort(pairs->begin(), pairs->end(), BySimilarityDesc());
+}
+
+}  // namespace sans

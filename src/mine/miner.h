@@ -1,0 +1,65 @@
+// The unified three-phase mining pipeline (paper Section 1): every
+// algorithm (1) computes signatures in one pass over the table,
+// (2) generates candidate pairs in main memory, and (3) verifies the
+// candidates exactly in a second pass. Miner is the common interface
+// the benchmark harness and examples drive; each concrete miner plugs
+// its own phases 1-2 and shares the phase-3 verifier.
+
+#ifndef SANS_MINE_MINER_H_
+#define SANS_MINE_MINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "matrix/row_stream.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace sans {
+
+/// Canonical phase names used in MiningReport::timers.
+inline constexpr char kPhaseSignatures[] = "1-signatures";
+inline constexpr char kPhaseCandidates[] = "2-candidates";
+inline constexpr char kPhaseVerify[] = "3-verify";
+
+/// Outcome of a mining run.
+struct MiningReport {
+  /// Verified pairs with exact similarity >= the query threshold,
+  /// sorted by descending similarity.
+  std::vector<SimilarPair> pairs;
+  /// Candidate pairs handed to the verifier, in ascending pair order —
+  /// the phase-2 output whose false positives/negatives the paper's
+  /// S-curves describe.
+  std::vector<ColumnPair> candidates;
+  /// |candidates| (kept alongside for reporting convenience).
+  uint64_t num_candidates = 0;
+  /// Wall-clock per phase.
+  PhaseTimer timers;
+
+  double TotalSeconds() const { return timers.GrandTotal(); }
+};
+
+/// A similar-pair mining algorithm over a (possibly disk-resident)
+/// table.
+class Miner {
+ public:
+  virtual ~Miner() = default;
+
+  /// Short algorithm tag ("MH", "K-MH", "M-LSH", "H-LSH", ...).
+  virtual std::string name() const = 0;
+
+  /// Finds all column pairs with similarity >= threshold. The source
+  /// is scanned once for signatures and once for verification.
+  virtual Result<MiningReport> Mine(const RowStreamSource& source,
+                                    double threshold) = 0;
+};
+
+/// Sorts pairs by descending similarity (deterministic tie-break) —
+/// shared post-processing for all miners.
+void SortPairs(std::vector<SimilarPair>* pairs);
+
+}  // namespace sans
+
+#endif  // SANS_MINE_MINER_H_

@@ -1,0 +1,85 @@
+#include "mine/mlsh_miner.h"
+
+#include "mine/verifier.h"
+
+namespace sans {
+
+Status MlshMinerConfig::Validate() const {
+  SANS_RETURN_IF_ERROR(lsh.Validate());
+  if (lsh.sampled && num_hashes <= 0) {
+    return Status::InvalidArgument(
+        "sampled mode requires positive num_hashes");
+  }
+  return Status::OK();
+}
+
+MlshMiner::MlshMiner(const MlshMinerConfig& config) : config_(config) {
+  SANS_CHECK(config.Validate().ok());
+}
+
+Result<MlshMiner> MlshMiner::FromDistribution(
+    const SimilarityDistribution& distr, const LshOptimizerOptions& options,
+    HashFamily family, uint64_t seed) {
+  const LshParameters params = OptimizeLshParameters(distr, options);
+  if (!params.feasible) {
+    return Status::NotFound(
+        "no (r, l) in the search space meets the FP/FN constraints");
+  }
+  MlshMinerConfig config;
+  config.lsh.rows_per_band = params.r;
+  config.lsh.num_bands = params.l;
+  config.lsh.sampled = false;
+  config.family = family;
+  config.seed = seed;
+  MlshMiner miner(config);
+  miner.optimized_ = params;
+  return miner;
+}
+
+Result<MiningReport> MlshMiner::Mine(const RowStreamSource& source,
+                                     double threshold) {
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return Status::InvalidArgument("threshold must lie in (0, 1]");
+  }
+  MiningReport report;
+
+  const int k = config_.lsh.sampled
+                    ? config_.num_hashes
+                    : config_.lsh.rows_per_band * config_.lsh.num_bands;
+
+  // Phase 1: min-hash signatures sized for the band layout.
+  SignatureMatrix signatures(1, 0);
+  {
+    ScopedPhase phase(&report.timers, kPhaseSignatures);
+    MinHashConfig mh_config;
+    mh_config.num_hashes = k;
+    mh_config.family = config_.family;
+    mh_config.seed = config_.seed;
+    MinHashGenerator generator(mh_config);
+    SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream, source.Open());
+    SANS_ASSIGN_OR_RETURN(signatures, generator.Compute(stream.get()));
+  }
+
+  // Phase 2: banded LSH bucketing.
+  CandidateSet candidates;
+  {
+    ScopedPhase phase(&report.timers, kPhaseCandidates);
+    MinLshConfig lsh = config_.lsh;
+    lsh.seed = config_.seed;
+    MinLshCandidateGenerator generator(lsh);
+    SANS_ASSIGN_OR_RETURN(candidates, generator.Generate(signatures));
+  }
+  report.candidates = candidates.SortedPairs();
+  report.num_candidates = report.candidates.size();
+
+  // Phase 3: exact verification.
+  {
+    ScopedPhase phase(&report.timers, kPhaseVerify);
+    SANS_ASSIGN_OR_RETURN(
+        report.pairs,
+        VerifyCandidates(source, report.candidates, threshold));
+  }
+  return report;
+}
+
+}  // namespace sans

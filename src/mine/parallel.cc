@@ -1,0 +1,164 @@
+#include "mine/parallel.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace sans {
+namespace {
+
+/// Runs `body(worker)` on workers 0..n-1 in parallel and returns the
+/// first non-OK status (if any).
+Status RunWorkers(int num_workers,
+                  const std::function<Status(int)>& body) {
+  std::vector<Status> statuses(num_workers);
+  std::vector<std::thread> threads;
+  threads.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    threads.emplace_back([&, w] { statuses[w] = body(w); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const Status& s : statuses) {
+    SANS_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SignatureMatrix> ComputeMinHashParallel(
+    const RowStreamSource& source, const MinHashConfig& config,
+    int num_threads) {
+  SANS_RETURN_IF_ERROR(config.Validate());
+  if (num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  MinHashGenerator generator(config);
+  if (num_threads == 1) {
+    SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream, source.Open());
+    return generator.Compute(stream.get());
+  }
+
+  // Per-worker partial signature matrices over row stripes.
+  std::vector<SignatureMatrix> partials(
+      num_threads, SignatureMatrix(config.num_hashes, source.num_cols()));
+  const Status worker_status = RunWorkers(
+      num_threads, [&](int worker) -> Status {
+        SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream,
+                              source.Open());
+        // A filtered view: only rows of this worker's stripe.
+        HashFunctionBank bank(config.family, config.num_hashes,
+                              config.seed);
+        std::vector<uint64_t> row_hashes(config.num_hashes);
+        SignatureMatrix& partial = partials[worker];
+        RowView view;
+        while (stream->Next(&view)) {
+          if (view.row % static_cast<RowId>(num_threads) !=
+              static_cast<RowId>(worker)) {
+            continue;
+          }
+          if (view.columns.empty()) continue;
+          bank.HashAll(view.row, &row_hashes);
+          for (int l = 0; l < config.num_hashes; ++l) {
+            if (row_hashes[l] == kEmptyMinHash) row_hashes[l] -= 1;
+          }
+          for (ColumnId c : view.columns) {
+            for (int l = 0; l < config.num_hashes; ++l) {
+              partial.MinUpdate(l, c, row_hashes[l]);
+            }
+          }
+        }
+        return Status::OK();
+      });
+  SANS_RETURN_IF_ERROR(worker_status);
+
+  // Merge by element-wise min into partials[0].
+  SignatureMatrix& merged = partials[0];
+  for (int w = 1; w < num_threads; ++w) {
+    for (int l = 0; l < config.num_hashes; ++l) {
+      for (ColumnId c = 0; c < merged.num_cols(); ++c) {
+        merged.MinUpdate(l, c, partials[w].Value(l, c));
+      }
+    }
+  }
+  return std::move(merged);
+}
+
+Result<std::vector<VerifiedPair>> CountCandidatePairsParallel(
+    const RowStreamSource& source, const std::vector<ColumnPair>& candidates,
+    int num_threads) {
+  if (num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (num_threads == 1) {
+    SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream, source.Open());
+    return CountCandidatePairs(stream.get(), candidates);
+  }
+  const ColumnId m = source.num_cols();
+  for (const ColumnPair& pair : candidates) {
+    if (pair.first == pair.second) {
+      return Status::InvalidArgument("candidate pair with equal columns");
+    }
+    if (pair.second >= m) {
+      return Status::OutOfRange("candidate column exceeds table width");
+    }
+  }
+
+  // Shared read-only column -> candidate index.
+  std::vector<std::vector<uint32_t>> column_to_candidates(m);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    column_to_candidates[candidates[i].first].push_back(
+        static_cast<uint32_t>(i));
+    column_to_candidates[candidates[i].second].push_back(
+        static_cast<uint32_t>(i));
+  }
+
+  struct PartialCounts {
+    std::vector<uint64_t> unions;
+    std::vector<uint64_t> intersections;
+  };
+  std::vector<PartialCounts> partials(num_threads);
+  const Status worker_status = RunWorkers(
+      num_threads, [&](int worker) -> Status {
+        PartialCounts& partial = partials[worker];
+        partial.unions.assign(candidates.size(), 0);
+        partial.intersections.assign(candidates.size(), 0);
+        SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream,
+                              source.Open());
+        std::vector<uint8_t> present(candidates.size(), 0);
+        std::vector<uint32_t> touched;
+        RowView view;
+        while (stream->Next(&view)) {
+          if (view.row % static_cast<RowId>(num_threads) !=
+              static_cast<RowId>(worker)) {
+            continue;
+          }
+          touched.clear();
+          for (ColumnId c : view.columns) {
+            for (uint32_t idx : column_to_candidates[c]) {
+              if (present[idx] == 0) touched.push_back(idx);
+              ++present[idx];
+            }
+          }
+          for (uint32_t idx : touched) {
+            ++partial.unions[idx];
+            if (present[idx] == 2) ++partial.intersections[idx];
+            present[idx] = 0;
+          }
+        }
+        return Status::OK();
+      });
+  SANS_RETURN_IF_ERROR(worker_status);
+
+  std::vector<VerifiedPair> verified(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    verified[i].pair = candidates[i];
+    for (const PartialCounts& partial : partials) {
+      verified[i].union_count += partial.unions[i];
+      verified[i].intersection_count += partial.intersections[i];
+    }
+  }
+  return verified;
+}
+
+}  // namespace sans

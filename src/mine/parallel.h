@@ -1,0 +1,44 @@
+// Parallel signature computation and verification by row striping.
+//
+// Both phase 1 (min-hash signatures) and phase 3 (candidate
+// verification) decompose over disjoint row sets: min-hash values
+// merge by element-wise minimum, and union/intersection counters
+// merge by addition. Each worker opens its own stream from the
+// RowStreamSource and processes the rows of its stripe
+// (row % workers == worker id), so results are bit-identical to the
+// sequential pipeline regardless of thread count.
+//
+// Note the cost model: every worker still *reads* the whole stream
+// (skipping foreign rows), so this parallelizes the hashing and
+// counting work, not the I/O. For disk-resident tables the win
+// appears once per-row CPU work (k hashes) dominates the scan.
+
+#ifndef SANS_MINE_PARALLEL_H_
+#define SANS_MINE_PARALLEL_H_
+
+#include <vector>
+
+#include "matrix/row_stream.h"
+#include "mine/verifier.h"
+#include "sketch/min_hash.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// Computes min-hash signatures with `num_threads` workers. With
+/// num_threads <= 1 this is exactly MinHashGenerator::Compute.
+/// Output is identical to the sequential computation for any thread
+/// count.
+Result<SignatureMatrix> ComputeMinHashParallel(
+    const RowStreamSource& source, const MinHashConfig& config,
+    int num_threads);
+
+/// Verifies candidates with `num_threads` workers; counts are summed
+/// across row stripes. Output order matches `candidates`.
+Result<std::vector<VerifiedPair>> CountCandidatePairsParallel(
+    const RowStreamSource& source, const std::vector<ColumnPair>& candidates,
+    int num_threads);
+
+}  // namespace sans
+
+#endif  // SANS_MINE_PARALLEL_H_

@@ -1,0 +1,73 @@
+#include "mine/verifier.h"
+
+#include <algorithm>
+
+#include "mine/miner.h"
+
+namespace sans {
+
+Result<std::vector<VerifiedPair>> CountCandidatePairs(
+    RowStream* rows, const std::vector<ColumnPair>& candidates) {
+  SANS_RETURN_IF_ERROR(rows->Reset());
+  const ColumnId m = rows->num_cols();
+
+  std::vector<VerifiedPair> verified(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].first == candidates[i].second) {
+      return Status::InvalidArgument("candidate pair with equal columns");
+    }
+    if (candidates[i].second >= m) {
+      return Status::OutOfRange("candidate column exceeds table width");
+    }
+    verified[i].pair = candidates[i];
+  }
+
+  // column -> indices of candidates containing it.
+  std::vector<std::vector<uint32_t>> column_to_candidates(m);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    column_to_candidates[candidates[i].first].push_back(
+        static_cast<uint32_t>(i));
+    column_to_candidates[candidates[i].second].push_back(
+        static_cast<uint32_t>(i));
+  }
+
+  // Per-row scratch: how many of a candidate's two columns appear in
+  // the current row (1 => union only, 2 => union + intersection).
+  std::vector<uint8_t> present(candidates.size(), 0);
+  std::vector<uint32_t> touched;
+  RowView view;
+  while (rows->Next(&view)) {
+    touched.clear();
+    for (ColumnId c : view.columns) {
+      for (uint32_t idx : column_to_candidates[c]) {
+        if (present[idx] == 0) touched.push_back(idx);
+        ++present[idx];
+      }
+    }
+    for (uint32_t idx : touched) {
+      ++verified[idx].union_count;
+      if (present[idx] == 2) ++verified[idx].intersection_count;
+      present[idx] = 0;
+    }
+  }
+  return verified;
+}
+
+Result<std::vector<SimilarPair>> VerifyCandidates(
+    const RowStreamSource& source, const std::vector<ColumnPair>& candidates,
+    double threshold) {
+  SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream, source.Open());
+  SANS_ASSIGN_OR_RETURN(std::vector<VerifiedPair> verified,
+                        CountCandidatePairs(stream.get(), candidates));
+  std::vector<SimilarPair> pairs;
+  for (const VerifiedPair& v : verified) {
+    const double s = v.similarity();
+    if (s >= threshold) {
+      pairs.push_back(SimilarPair{v.pair, s});
+    }
+  }
+  SortPairs(&pairs);
+  return pairs;
+}
+
+}  // namespace sans

@@ -1,0 +1,82 @@
+#include "sketch/incremental.h"
+
+#include <algorithm>
+
+#include "sketch/signature_matrix.h"
+
+namespace sans {
+
+IncrementalKMinHashBuilder::IncrementalKMinHashBuilder(
+    const KMinHashConfig& config, ColumnId num_cols)
+    : config_(config), hasher_(MakeHasher(config.family, config.seed)) {
+  SANS_CHECK(config.Validate().ok());
+  heaps_.reserve(num_cols);
+  for (ColumnId c = 0; c < num_cols; ++c) {
+    heaps_.emplace_back(static_cast<size_t>(config.k));
+  }
+  cardinalities_.assign(num_cols, 0);
+}
+
+Status IncrementalKMinHashBuilder::AddRow(
+    RowId row, std::span<const ColumnId> columns) {
+  if (columns.empty()) {
+    ++rows_ingested_;
+    return Status::OK();
+  }
+  uint64_t value = hasher_->Hash(row);
+  if (value == kEmptyMinHash) value -= 1;
+  for (ColumnId c : columns) {
+    if (c >= num_cols()) {
+      return Status::OutOfRange("column id exceeds builder width");
+    }
+    heaps_[c].Offer(value);
+    ++cardinalities_[c];
+  }
+  ++rows_ingested_;
+  return Status::OK();
+}
+
+Status IncrementalKMinHashBuilder::AddAll(RowStream* rows) {
+  SANS_RETURN_IF_ERROR(rows->Reset());
+  RowView view;
+  while (rows->Next(&view)) {
+    SANS_RETURN_IF_ERROR(AddRow(view.row, view.columns));
+  }
+  return Status::OK();
+}
+
+Status IncrementalKMinHashBuilder::Merge(
+    const IncrementalKMinHashBuilder& other) {
+  if (other.config_.k != config_.k ||
+      other.config_.family != config_.family ||
+      other.config_.seed != config_.seed) {
+    return Status::InvalidArgument(
+        "builders must share k, hash family, and seed to merge");
+  }
+  if (other.num_cols() != num_cols()) {
+    return Status::InvalidArgument("builders must share the column width");
+  }
+  for (ColumnId c = 0; c < num_cols(); ++c) {
+    for (uint64_t value : other.heaps_[c].SortedValues()) {
+      heaps_[c].Offer(value);
+    }
+    cardinalities_[c] += other.cardinalities_[c];
+  }
+  rows_ingested_ += other.rows_ingested_;
+  return Status::OK();
+}
+
+KMinHashSketch IncrementalKMinHashBuilder::Snapshot() const {
+  KMinHashSketch sketch(config_.k, num_cols());
+  for (ColumnId c = 0; c < num_cols(); ++c) {
+    std::vector<uint64_t> signature = heaps_[c].SortedValues();
+    signature.erase(std::unique(signature.begin(), signature.end()),
+                    signature.end());
+    SANS_CHECK(
+        sketch.SetColumn(c, std::move(signature), cardinalities_[c])
+            .ok());
+  }
+  return sketch;
+}
+
+}  // namespace sans

@@ -1,0 +1,133 @@
+#include "sketch/k_min_hash.h"
+
+#include <algorithm>
+
+#include "sketch/signature_matrix.h"
+#include "util/bounded_heap.h"
+
+namespace sans {
+
+Status KMinHashConfig::Validate() const {
+  if (k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  return Status::OK();
+}
+
+KMinHashSketch::KMinHashSketch(int k, ColumnId num_cols)
+    : k_(k),
+      num_cols_(num_cols),
+      signatures_(num_cols),
+      cardinalities_(num_cols, 0) {
+  SANS_CHECK_GT(k, 0);
+}
+
+Status KMinHashSketch::SetColumn(ColumnId col,
+                                 std::vector<uint64_t> signature,
+                                 uint64_t cardinality) {
+  if (col >= num_cols_) {
+    return Status::OutOfRange("column id exceeds sketch width");
+  }
+  if (signature.size() > static_cast<size_t>(k_)) {
+    return Status::InvalidArgument("signature larger than k");
+  }
+  for (size_t i = 1; i < signature.size(); ++i) {
+    if (signature[i] <= signature[i - 1]) {
+      return Status::InvalidArgument(
+          "signature values must be strictly ascending");
+    }
+  }
+  if (cardinality < signature.size()) {
+    return Status::InvalidArgument(
+        "cardinality smaller than signature size");
+  }
+  signatures_[col] = std::move(signature);
+  cardinalities_[col] = cardinality;
+  return Status::OK();
+}
+
+uint64_t KMinHashSketch::TotalSignatureSize() const {
+  uint64_t total = 0;
+  for (const auto& sig : signatures_) total += sig.size();
+  return total;
+}
+
+std::unique_ptr<Hasher64> MakeHasher(HashFamily family, uint64_t seed) {
+  switch (family) {
+    case HashFamily::kSplitMix64:
+      return std::make_unique<SplitMix64Hasher>(seed);
+    case HashFamily::kMultiplyShift:
+      return std::make_unique<MultiplyShiftHasher>(seed);
+    case HashFamily::kTabulation:
+      return std::make_unique<TabulationHasher>(seed);
+  }
+  SANS_CHECK(false);
+  return nullptr;
+}
+
+KMinHashGenerator::KMinHashGenerator(const KMinHashConfig& config)
+    : config_(config), hasher_(MakeHasher(config.family, config.seed)) {
+  SANS_CHECK(config.Validate().ok());
+}
+
+Result<KMinHashSketch> KMinHashGenerator::Compute(RowStream* rows) const {
+  SANS_RETURN_IF_ERROR(rows->Reset());
+  const ColumnId m = rows->num_cols();
+  KMinHashSketch sketch(config_.k, m);
+  // One bounded max-heap per column. The heap admits only values
+  // smaller than its current max once full, matching the paper's
+  // O(log k) insert / O(1) reject data structure.
+  std::vector<BoundedMaxHeap<uint64_t>> heaps;
+  heaps.reserve(m);
+  for (ColumnId c = 0; c < m; ++c) {
+    heaps.emplace_back(static_cast<size_t>(config_.k));
+  }
+  RowView view;
+  while (rows->Next(&view)) {
+    if (view.columns.empty()) continue;  // nothing to update
+    uint64_t value = hasher_->Hash(view.row);
+    if (value == kEmptyMinHash) value -= 1;  // keep sentinel unreachable
+    for (ColumnId c : view.columns) {
+      heaps[c].Offer(value);
+      ++sketch.cardinalities_[c];
+    }
+  }
+  for (ColumnId c = 0; c < m; ++c) {
+    sketch.signatures_[c] = heaps[c].TakeSortedValues();
+    // Distinct rows hash to distinct values for the bijective families
+    // (splitmix64, multiply-shift); tabulation can collide, so
+    // deduplicate defensively to preserve the "sample of distinct
+    // rows" semantics of Proposition 2.
+    sketch.signatures_[c].erase(
+        std::unique(sketch.signatures_[c].begin(),
+                    sketch.signatures_[c].end()),
+        sketch.signatures_[c].end());
+  }
+  return sketch;
+}
+
+std::vector<uint64_t> MergeSignatures(std::span<const uint64_t> sig_a,
+                                      std::span<const uint64_t> sig_b,
+                                      int k) {
+  std::vector<uint64_t> merged;
+  merged.reserve(std::min<size_t>(k, sig_a.size() + sig_b.size()));
+  size_t i = 0;
+  size_t j = 0;
+  while (merged.size() < static_cast<size_t>(k) &&
+         (i < sig_a.size() || j < sig_b.size())) {
+    uint64_t next;
+    if (j >= sig_b.size() || (i < sig_a.size() && sig_a[i] < sig_b[j])) {
+      next = sig_a[i++];
+    } else if (i >= sig_a.size() || sig_b[j] < sig_a[i]) {
+      next = sig_b[j++];
+    } else {  // equal: consume both, emit once
+      next = sig_a[i];
+      ++i;
+      ++j;
+    }
+    merged.push_back(next);
+  }
+  return merged;
+}
+
+}  // namespace sans

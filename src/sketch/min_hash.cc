@@ -1,0 +1,60 @@
+#include "sketch/min_hash.h"
+
+#include <cmath>
+#include <vector>
+
+namespace sans {
+
+Status MinHashConfig::Validate() const {
+  if (num_hashes <= 0) {
+    return Status::InvalidArgument("num_hashes must be positive");
+  }
+  return Status::OK();
+}
+
+int RecommendedNumHashes(double delta, double epsilon, double c) {
+  SANS_CHECK_GT(delta, 0.0);
+  SANS_CHECK_LT(delta, 1.0);
+  SANS_CHECK_GT(epsilon, 0.0);
+  SANS_CHECK_LT(epsilon, 1.0);
+  SANS_CHECK_GT(c, 0.0);
+  const double k = 2.0 / (delta * delta * c) * std::log(1.0 / epsilon);
+  return static_cast<int>(std::ceil(k));
+}
+
+MinHashGenerator::MinHashGenerator(const MinHashConfig& config)
+    : config_(config),
+      bank_(config.family, config.num_hashes, config.seed) {
+  SANS_CHECK(config.Validate().ok());
+}
+
+Result<SignatureMatrix> MinHashGenerator::Compute(
+    RowStream* rows, std::vector<uint64_t>* cardinalities) const {
+  SANS_RETURN_IF_ERROR(rows->Reset());
+  SignatureMatrix signatures(config_.num_hashes, rows->num_cols());
+  if (cardinalities != nullptr) {
+    cardinalities->assign(rows->num_cols(), 0);
+  }
+  std::vector<uint64_t> row_hashes(config_.num_hashes);
+  RowView view;
+  while (rows->Next(&view)) {
+    // Empty rows touch no column; skip the k hash evaluations (matters
+    // for shingle matrices whose row space is mostly empty buckets).
+    if (view.columns.empty()) continue;
+    bank_.HashAll(view.row, &row_hashes);
+    for (int l = 0; l < config_.num_hashes; ++l) {
+      // Clamp so a real row can never produce the empty-column
+      // sentinel.
+      if (row_hashes[l] == kEmptyMinHash) row_hashes[l] -= 1;
+    }
+    for (ColumnId c : view.columns) {
+      if (cardinalities != nullptr) ++(*cardinalities)[c];
+      for (int l = 0; l < config_.num_hashes; ++l) {
+        signatures.MinUpdate(l, c, row_hashes[l]);
+      }
+    }
+  }
+  return signatures;
+}
+
+}  // namespace sans

@@ -1,0 +1,152 @@
+#include "sketch/sketch_io.h"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace sans {
+namespace {
+
+/// RAII FILE handle.
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteBytes(std::FILE* f, const void* data, size_t size) {
+  if (std::fwrite(data, 1, size, f) != size) {
+    return Status::IOError("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadBytes(std::FILE* f, void* data, size_t size) {
+  if (std::fread(data, 1, size, f) != size) {
+    return Status::Corruption("short read");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status WriteScalar(std::FILE* f, T value) {
+  return WriteBytes(f, &value, sizeof(value));
+}
+
+template <typename T>
+Status ReadScalar(std::FILE* f, T* value) {
+  return ReadBytes(f, value, sizeof(*value));
+}
+
+Status CheckHeader(std::FILE* f, uint32_t expected_magic, uint32_t* k,
+                   uint32_t* m) {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  SANS_RETURN_IF_ERROR(ReadScalar(f, &magic));
+  if (magic != expected_magic) {
+    return Status::Corruption("bad magic");
+  }
+  SANS_RETURN_IF_ERROR(ReadScalar(f, &version));
+  if (version != kSketchIoVersion) {
+    return Status::Corruption("unsupported version");
+  }
+  SANS_RETURN_IF_ERROR(ReadScalar(f, k));
+  SANS_RETURN_IF_ERROR(ReadScalar(f, m));
+  if (*k == 0) {
+    return Status::Corruption("k must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteSignatureMatrix(const SignatureMatrix& signatures,
+                            const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  SANS_RETURN_IF_ERROR(WriteScalar(f.get(), kSignatureFileMagic));
+  SANS_RETURN_IF_ERROR(WriteScalar(f.get(), kSketchIoVersion));
+  SANS_RETURN_IF_ERROR(
+      WriteScalar(f.get(), static_cast<uint32_t>(signatures.num_hashes())));
+  SANS_RETURN_IF_ERROR(WriteScalar(f.get(), signatures.num_cols()));
+  for (int l = 0; l < signatures.num_hashes(); ++l) {
+    const auto row = signatures.HashRow(l);
+    SANS_RETURN_IF_ERROR(
+        WriteBytes(f.get(), row.data(), row.size() * sizeof(uint64_t)));
+  }
+  return Status::OK();
+}
+
+Result<SignatureMatrix> ReadSignatureMatrix(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  uint32_t k = 0;
+  uint32_t m = 0;
+  SANS_RETURN_IF_ERROR(CheckHeader(f.get(), kSignatureFileMagic, &k, &m));
+  SignatureMatrix signatures(static_cast<int>(k), m);
+  std::vector<uint64_t> row(m);
+  for (uint32_t l = 0; l < k; ++l) {
+    SANS_RETURN_IF_ERROR(
+        ReadBytes(f.get(), row.data(), row.size() * sizeof(uint64_t)));
+    for (ColumnId c = 0; c < m; ++c) {
+      signatures.SetValue(static_cast<int>(l), c, row[c]);
+    }
+  }
+  return signatures;
+}
+
+Status WriteKMinHashSketch(const KMinHashSketch& sketch,
+                           const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  SANS_RETURN_IF_ERROR(WriteScalar(f.get(), kSketchFileMagic));
+  SANS_RETURN_IF_ERROR(WriteScalar(f.get(), kSketchIoVersion));
+  SANS_RETURN_IF_ERROR(
+      WriteScalar(f.get(), static_cast<uint32_t>(sketch.k())));
+  SANS_RETURN_IF_ERROR(WriteScalar(f.get(), sketch.num_cols()));
+  for (ColumnId c = 0; c < sketch.num_cols(); ++c) {
+    SANS_RETURN_IF_ERROR(
+        WriteScalar(f.get(), sketch.ColumnCardinality(c)));
+    const auto sig = sketch.Signature(c);
+    SANS_RETURN_IF_ERROR(
+        WriteScalar(f.get(), static_cast<uint32_t>(sig.size())));
+    SANS_RETURN_IF_ERROR(
+        WriteBytes(f.get(), sig.data(), sig.size() * sizeof(uint64_t)));
+  }
+  return Status::OK();
+}
+
+Result<KMinHashSketch> ReadKMinHashSketch(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  uint32_t k = 0;
+  uint32_t m = 0;
+  SANS_RETURN_IF_ERROR(CheckHeader(f.get(), kSketchFileMagic, &k, &m));
+  KMinHashSketch sketch(static_cast<int>(k), m);
+  for (ColumnId c = 0; c < m; ++c) {
+    uint64_t cardinality = 0;
+    uint32_t size = 0;
+    SANS_RETURN_IF_ERROR(ReadScalar(f.get(), &cardinality));
+    SANS_RETURN_IF_ERROR(ReadScalar(f.get(), &size));
+    if (size > k) {
+      return Status::Corruption("signature larger than k");
+    }
+    std::vector<uint64_t> signature(size);
+    SANS_RETURN_IF_ERROR(ReadBytes(f.get(), signature.data(),
+                                   signature.size() * sizeof(uint64_t)));
+    SANS_RETURN_IF_ERROR(
+        sketch.SetColumn(c, std::move(signature), cardinality));
+  }
+  return sketch;
+}
+
+}  // namespace sans

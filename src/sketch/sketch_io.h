@@ -1,0 +1,44 @@
+// Persistence for signature matrices and bottom-k sketches. The paper
+// frames M̂ as "a compact representation of the matrix M" — persisting
+// it lets phase 2 (candidate generation) rerun with different
+// parameters without rescanning the table.
+//
+// Formats (little-endian):
+//   signature file: [magic u32 "SGNS"][version u32][k u32][m u32]
+//                   [k*m u64 values, row-major]
+//   sketch file:    [magic u32 "SKCH"][version u32][k u32][m u32]
+//                   per column: [cardinality u64][size u32][size u64]
+
+#ifndef SANS_SKETCH_SKETCH_IO_H_
+#define SANS_SKETCH_SKETCH_IO_H_
+
+#include <string>
+
+#include "sketch/k_min_hash.h"
+#include "sketch/signature_matrix.h"
+#include "util/status.h"
+
+namespace sans {
+
+inline constexpr uint32_t kSignatureFileMagic = 0x534e4753u;  // "SGNS"
+inline constexpr uint32_t kSketchFileMagic = 0x48434b53u;     // "SKCH"
+inline constexpr uint32_t kSketchIoVersion = 1;
+
+/// Writes a signature matrix to `path`.
+Status WriteSignatureMatrix(const SignatureMatrix& signatures,
+                            const std::string& path);
+
+/// Reads a signature matrix, validating the header.
+Result<SignatureMatrix> ReadSignatureMatrix(const std::string& path);
+
+/// Writes a bottom-k sketch to `path`.
+Status WriteKMinHashSketch(const KMinHashSketch& sketch,
+                           const std::string& path);
+
+/// Reads a bottom-k sketch, validating the header and that each
+/// signature is sorted, distinct, and at most k values.
+Result<KMinHashSketch> ReadKMinHashSketch(const std::string& path);
+
+}  // namespace sans
+
+#endif  // SANS_SKETCH_SKETCH_IO_H_

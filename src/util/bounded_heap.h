@@ -1,0 +1,86 @@
+// BoundedMaxHeap: keeps the k smallest values seen so far, the data
+// structure the K-Min-Hash sketch needs. The paper (Section 3.2):
+// "We maintain the k minimum hash values for each column in a simple
+// data structure that allows us to insert a new value (smaller than
+// the current maximum) and delete the current maximum in O(log k)
+// time. The data structure also makes the maximum element among the k
+// current Min-Hash values of each column readily available."
+
+#ifndef SANS_UTIL_BOUNDED_HEAP_H_
+#define SANS_UTIL_BOUNDED_HEAP_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sans {
+
+/// Max-heap capped at `capacity` elements that retains the smallest
+/// values offered. Offer() is O(1) when the value does not qualify
+/// (>= current max on a full heap), O(log k) otherwise.
+template <typename T>
+class BoundedMaxHeap {
+ public:
+  explicit BoundedMaxHeap(size_t capacity) : capacity_(capacity) {
+    SANS_CHECK_GT(capacity, 0u);
+    heap_.reserve(capacity);
+  }
+
+  /// Offers a value; keeps it only if it is among the `capacity`
+  /// smallest seen so far. Duplicate values are kept (multiset
+  /// semantics); callers that need distinct keys deduplicate upstream.
+  /// Returns true if the heap changed.
+  bool Offer(const T& value) {
+    if (heap_.size() < capacity_) {
+      heap_.push_back(value);
+      std::push_heap(heap_.begin(), heap_.end());
+      return true;
+    }
+    if (!(value < heap_.front())) return false;
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.back() = value;
+    std::push_heap(heap_.begin(), heap_.end());
+    return true;
+  }
+
+  /// Current maximum. Precondition: !empty().
+  const T& Max() const {
+    SANS_CHECK(!heap_.empty());
+    return heap_.front();
+  }
+
+  /// True when `value` would be admitted by Offer().
+  bool WouldAdmit(const T& value) const {
+    return heap_.size() < capacity_ || value < heap_.front();
+  }
+
+  bool empty() const { return heap_.empty(); }
+  bool full() const { return heap_.size() == capacity_; }
+  size_t size() const { return heap_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// The retained values in ascending order (copies; the heap is
+  /// unchanged).
+  std::vector<T> SortedValues() const {
+    std::vector<T> values = heap_;
+    std::sort(values.begin(), values.end());
+    return values;
+  }
+
+  /// Destructive extraction in ascending order; the heap is left empty.
+  std::vector<T> TakeSortedValues() {
+    std::sort(heap_.begin(), heap_.end());
+    return std::move(heap_);
+  }
+
+  void Clear() { heap_.clear(); }
+
+ private:
+  size_t capacity_;
+  std::vector<T> heap_;  // max-heap order (std::push_heap default)
+};
+
+}  // namespace sans
+
+#endif  // SANS_UTIL_BOUNDED_HEAP_H_

@@ -1,0 +1,66 @@
+#include "util/hashing.h"
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sans {
+
+MultiplyShiftHasher::MultiplyShiftHasher(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  multiplier_ = rng.NextU64() | 1;  // odd multiplier keeps the map bijective
+  addend_ = rng.NextU64();
+}
+
+TabulationHasher::TabulationHasher(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (auto& table : tables_) {
+    for (auto& entry : table) {
+      entry = rng.NextU64();
+    }
+  }
+}
+
+const char* HashFamilyToString(HashFamily family) {
+  switch (family) {
+    case HashFamily::kSplitMix64:
+      return "splitmix64";
+    case HashFamily::kMultiplyShift:
+      return "multiply-shift";
+    case HashFamily::kTabulation:
+      return "tabulation";
+  }
+  return "unknown";
+}
+
+HashFunctionBank::HashFunctionBank(HashFamily family, int count,
+                                   uint64_t seed)
+    : family_(family) {
+  SANS_CHECK_GE(count, 0);
+  functions_.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    // Derive per-function seeds with a mixing step so that consecutive
+    // master seeds do not yield overlapping function banks.
+    const uint64_t fn_seed = Mix64(seed + 0x100000001b3ULL * (i + 1));
+    switch (family) {
+      case HashFamily::kSplitMix64:
+        functions_.push_back(std::make_unique<SplitMix64Hasher>(fn_seed));
+        break;
+      case HashFamily::kMultiplyShift:
+        functions_.push_back(std::make_unique<MultiplyShiftHasher>(fn_seed));
+        break;
+      case HashFamily::kTabulation:
+        functions_.push_back(std::make_unique<TabulationHasher>(fn_seed));
+        break;
+    }
+  }
+}
+
+void HashFunctionBank::HashAll(uint64_t key,
+                               std::vector<uint64_t>* out) const {
+  out->resize(functions_.size());
+  for (size_t i = 0; i < functions_.size(); ++i) {
+    (*out)[i] = functions_[i]->Hash(key);
+  }
+}
+
+}  // namespace sans

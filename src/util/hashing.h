@@ -1,0 +1,151 @@
+// Hash-function substrate for the min-hash and LSH schemes.
+//
+// The paper (Section 3) replaces explicit random row permutations with
+// independent random hash values per row: "while scanning the rows, we
+// will simply associate with each row a hash value that is a number
+// chosen independently and uniformly at random". We provide three
+// interchangeable families:
+//
+//  * SplitMix64Hasher   — a strong 64-bit finalizer-style mixer keyed
+//                         by a seed; the default everywhere.
+//  * MultiplyShiftHasher— the classical 2-universal multiply-shift
+//                         scheme; cheapest, weakest guarantees.
+//  * TabulationHasher   — 8-way simple tabulation; 3-independent and
+//                         known to make min-hash behave like full
+//                         randomness on realistic data.
+//
+// All hashers map a 64-bit key (row index) to a 64-bit value. Using
+// 64-bit outputs avoids the "birthday paradox" collisions the paper
+// warns about for tables with up to ~2^30 rows.
+
+#ifndef SANS_UTIL_HASHING_H_
+#define SANS_UTIL_HASHING_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sans {
+
+/// Strong 64-bit mixing step (the splitmix64 finalizer). Bijective on
+/// uint64_t, so distinct inputs never collide for a fixed seed.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Seeded hash of a 64-bit key via two mixing rounds. Bijective in the
+/// key for any fixed seed.
+inline uint64_t HashKey(uint64_t key, uint64_t seed) {
+  return Mix64(key + 0x9e3779b97f4a7c15ULL * (seed + 1));
+}
+
+/// A keyed hash function family over 64-bit keys. One instance = one
+/// function drawn from the family; min-hash schemes instantiate k of
+/// them with distinct seeds.
+class Hasher64 {
+ public:
+  virtual ~Hasher64() = default;
+  /// Hash of `key` under this function.
+  virtual uint64_t Hash(uint64_t key) const = 0;
+};
+
+/// Default hasher: double splitmix64 mix keyed by seed. Statistically
+/// indistinguishable from a random function for our purposes and
+/// collision-free per seed (bijective).
+class SplitMix64Hasher final : public Hasher64 {
+ public:
+  explicit SplitMix64Hasher(uint64_t seed) : seed_(seed) {}
+  uint64_t Hash(uint64_t key) const override { return HashKey(key, seed_); }
+
+ private:
+  uint64_t seed_;
+};
+
+/// 2-universal multiply-shift hashing: h(x) = (a*x + b) with odd `a`,
+/// taking the full 64-bit product. Fastest option; adequate for
+/// bucketing but measurably weaker for min-hash estimates (see
+/// bench/micro_hashing).
+class MultiplyShiftHasher final : public Hasher64 {
+ public:
+  explicit MultiplyShiftHasher(uint64_t seed);
+  uint64_t Hash(uint64_t key) const override {
+    return multiplier_ * key + addend_;
+  }
+
+ private:
+  uint64_t multiplier_;  // always odd, so the map is bijective
+  uint64_t addend_;
+};
+
+/// Simple tabulation hashing over the 8 bytes of the key: XOR of 8
+/// seeded lookup tables of 256 entries each. 3-independent; strong
+/// theoretical guarantees for min-wise hashing.
+class TabulationHasher final : public Hasher64 {
+ public:
+  explicit TabulationHasher(uint64_t seed);
+  uint64_t Hash(uint64_t key) const override {
+    uint64_t h = 0;
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= tables_[byte][(key >> (8 * byte)) & 0xff];
+    }
+    return h;
+  }
+
+ private:
+  std::array<std::array<uint64_t, 256>, 8> tables_;
+};
+
+/// Which hash family to instantiate (see class comments above).
+enum class HashFamily {
+  kSplitMix64,
+  kMultiplyShift,
+  kTabulation,
+};
+
+const char* HashFamilyToString(HashFamily family);
+
+/// A bank of k independent hash functions from one family, seeded
+/// deterministically from a master seed. This is the object the
+/// min-hash signature computation consumes: HashAll(row) yields the
+/// row's hash under each of the k implicit permutations.
+class HashFunctionBank {
+ public:
+  /// Creates `count` functions from `family`, derived from `seed`.
+  HashFunctionBank(HashFamily family, int count, uint64_t seed);
+
+  HashFunctionBank(const HashFunctionBank&) = delete;
+  HashFunctionBank& operator=(const HashFunctionBank&) = delete;
+  HashFunctionBank(HashFunctionBank&&) = default;
+  HashFunctionBank& operator=(HashFunctionBank&&) = default;
+
+  int count() const { return static_cast<int>(functions_.size()); }
+  HashFamily family() const { return family_; }
+
+  /// Hash of `key` under function `index` (0 <= index < count()).
+  uint64_t Hash(int index, uint64_t key) const {
+    return functions_[index]->Hash(key);
+  }
+
+  /// Hashes `key` under every function into `out` (resized to count()).
+  void HashAll(uint64_t key, std::vector<uint64_t>* out) const;
+
+ private:
+  HashFamily family_;
+  std::vector<std::unique_ptr<Hasher64>> functions_;
+};
+
+/// Combines two hash values into one (for hashing composite keys such
+/// as LSH band signatures). Order-sensitive.
+inline uint64_t CombineHashes(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace sans
+
+#endif  // SANS_UTIL_HASHING_H_

@@ -1,0 +1,61 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace sans {
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >=
+               g_log_level.load(std::memory_order_relaxed)),
+      level_(level) {
+  if (enabled_) {
+    // Strip the directory prefix for compactness.
+    std::string path(file);
+    const size_t slash = path.find_last_of('/');
+    stream_ << '[' << LevelName(level) << ' '
+            << (slash == std::string::npos ? path : path.substr(slash + 1))
+            << ':' << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << '\n';
+    std::cerr << stream_.str();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace sans

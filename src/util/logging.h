@@ -1,0 +1,55 @@
+// Minimal leveled logging to stderr. Off by default above WARNING so
+// library users see nothing unless they opt in; benchmarks raise the
+// level to INFO to narrate progress.
+
+#ifndef SANS_UTIL_LOGGING_H_
+#define SANS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sans {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Global threshold: messages below this level are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style message collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace sans
+
+#define SANS_LOG(level)                                        \
+  ::sans::internal_logging::LogMessage(::sans::LogLevel::level, \
+                                       __FILE__, __LINE__)
+
+#endif  // SANS_UTIL_LOGGING_H_

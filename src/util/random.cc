@@ -1,0 +1,105 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/hashing.h"
+#include "util/status.h"
+
+namespace sans {
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  // splitmix64 expansion of the seed, as recommended by the xoshiro
+  // authors; guarantees a nonzero state.
+  uint64_t x = seed;
+  for (auto& s : state_) {
+    x += 0x9e3779b97f4a7c15ULL;
+    s = Mix64(x);
+  }
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+uint64_t Xoshiro256::NextBounded(uint64_t bound) {
+  SANS_CHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless unbiased method.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Xoshiro256::NextInRange(int64_t lo, int64_t hi) {
+  SANS_CHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+uint64_t Xoshiro256::NextZipf(uint64_t n, double exponent) {
+  SANS_CHECK_GT(n, 0u);
+  SANS_CHECK_GT(exponent, 0.0);
+  // Rejection-inversion sampling (Hörmann & Derflinger 1996) for the
+  // Zipf distribution P(k) ∝ (k+1)^-exponent on k in [0, n).
+  const double s = exponent;
+  const auto h = [s](double x) {
+    // Integral of t^-s: H(x) = (x^(1-s) - 1) / (1 - s), handling s≈1.
+    if (std::abs(s - 1.0) < 1e-9) return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  const auto h_inv = [s](double u) {
+    if (std::abs(s - 1.0) < 1e-9) return std::exp(u);
+    return std::pow(1.0 + u * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double h_x1 = h(1.5) - 1.0;
+  const double h_n = h(static_cast<double>(n) + 0.5);
+  while (true) {
+    const double u = h_x1 + NextDouble() * (h_n - h_x1);
+    const double x = h_inv(u);
+    const uint64_t k = static_cast<uint64_t>(
+        std::clamp(x + 0.5, 1.0, static_cast<double>(n)));
+    // Acceptance test: u must fall within the bar of integer k.
+    if (u >= h(static_cast<double>(k) + 0.5) -
+                 std::pow(static_cast<double>(k), -s)) {
+      return k - 1;
+    }
+  }
+}
+
+std::vector<uint64_t> Xoshiro256::SampleWithoutReplacement(uint64_t population,
+                                                           uint64_t count) {
+  SANS_CHECK_LE(count, population);
+  std::vector<uint64_t> sample;
+  sample.reserve(count);
+  if (count == 0) return sample;
+  if (count * 3 >= population) {
+    // Dense case: shuffle a full index vector and truncate.
+    std::vector<uint64_t> all(population);
+    for (uint64_t i = 0; i < population; ++i) all[i] = i;
+    Shuffle(&all);
+    all.resize(count);
+    std::sort(all.begin(), all.end());
+    return all;
+  }
+  // Sparse case: Floyd's algorithm.
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(count * 2);
+  for (uint64_t j = population - count; j < population; ++j) {
+    const uint64_t t = NextBounded(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  sample.assign(chosen.begin(), chosen.end());
+  std::sort(sample.begin(), sample.end());
+  return sample;
+}
+
+}  // namespace sans

@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation for experiments.
+//
+// All randomness in the library flows through Xoshiro256 seeded
+// explicitly, so every experiment and test is reproducible from its
+// seed. std::mt19937 is avoided: xoshiro256** is ~4x faster and the
+// generators here are header-inline on the hot paths.
+
+#ifndef SANS_UTIL_RANDOM_H_
+#define SANS_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sans {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation, reworked into a class). Deterministic from seed.
+class Xoshiro256 {
+ public:
+  /// Seeds the 256-bit state from a 64-bit seed via splitmix64, per
+  /// the authors' recommendation.
+  explicit Xoshiro256(uint64_t seed);
+
+  /// Next 64 uniform random bits.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0. Uses
+  /// Lemire's multiply-shift rejection method (unbiased).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Zipf-distributed integer in [0, n) with exponent `exponent`,
+  /// via inverse-CDF on a precomputed table-free approximation
+  /// (rejection-inversion, Hörmann & Derflinger). Suitable for the
+  /// news-corpus word-frequency model.
+  uint64_t NextZipf(uint64_t n, double exponent);
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      const size_t j = NextBounded(i);
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// Sample of `count` distinct integers from [0, population) in
+  /// increasing order (Floyd's algorithm + sort). Precondition:
+  /// count <= population.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t population,
+                                                 uint64_t count);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace sans
+
+#endif  // SANS_UTIL_RANDOM_H_

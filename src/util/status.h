@@ -1,0 +1,181 @@
+// Status / Result error handling in the RocksDB idiom: fallible
+// operations return a sans::Status (or sans::Result<T>) instead of
+// throwing. Hot paths assert with SANS_CHECK and never allocate a
+// Status.
+
+#ifndef SANS_UTIL_STATUS_H_
+#define SANS_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sans {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+/// OK statuses are cheap to construct and copy (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Mirrors
+/// absl::StatusOr<T> with the subset of the API this project needs.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return some_t;` works in functions
+  /// returning Result<T>.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status. Constructing from an OK status is
+  /// a programming error and converts to an Internal error.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(payload_).ok()) {
+      payload_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// The held value. Precondition: ok().
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result::value() on error: "
+                << std::get<Status>(payload_).ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace sans
+
+/// Propagates an error Status from a callee to the caller.
+#define SANS_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::sans::Status _sans_status = (expr);          \
+    if (!_sans_status.ok()) return _sans_status;   \
+  } while (false)
+
+/// Evaluates a Result<T> expression, assigning the value on success
+/// and returning the error status otherwise.
+#define SANS_ASSIGN_OR_RETURN(lhs, expr)              \
+  SANS_ASSIGN_OR_RETURN_IMPL_(                        \
+      SANS_STATUS_CONCAT_(_sans_result, __LINE__), lhs, expr)
+#define SANS_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+#define SANS_STATUS_CONCAT_(a, b) SANS_STATUS_CONCAT_IMPL_(a, b)
+#define SANS_STATUS_CONCAT_IMPL_(a, b) a##b
+
+/// Internal-invariant check; aborts with a location message on
+/// failure. Active in all build types: invariant violations in a
+/// randomized mining pipeline silently corrupt results otherwise.
+#define SANS_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::cerr << "SANS_CHECK failed: " #cond " at " << __FILE__     \
+                << ":" << __LINE__ << std::endl;                      \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (false)
+
+#define SANS_CHECK_EQ(a, b) SANS_CHECK((a) == (b))
+#define SANS_CHECK_LE(a, b) SANS_CHECK((a) <= (b))
+#define SANS_CHECK_LT(a, b) SANS_CHECK((a) < (b))
+#define SANS_CHECK_GE(a, b) SANS_CHECK((a) >= (b))
+#define SANS_CHECK_GT(a, b) SANS_CHECK((a) > (b))
+
+#endif  // SANS_UTIL_STATUS_H_

@@ -1,0 +1,24 @@
+#include "util/timer.h"
+
+#include <sstream>
+
+namespace sans {
+
+double PhaseTimer::GrandTotal() const {
+  double total = 0.0;
+  for (const auto& [phase, seconds] : totals_) total += seconds;
+  return total;
+}
+
+std::string PhaseTimer::ToString() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [phase, seconds] : totals_) {
+    if (!first) out << ' ';
+    first = false;
+    out << phase << '=' << seconds << 's';
+  }
+  return out.str();
+}
+
+}  // namespace sans

@@ -1,0 +1,62 @@
+// Disjoint-set forest with union by rank and path halving — the
+// substrate for extracting clusters from the similar-pair graph
+// (paper Section 2: "We also get clusters of words, i.e., groups of
+// words for which most of the pairs in the group have high
+// similarity").
+
+#ifndef SANS_UTIL_UNION_FIND_H_
+#define SANS_UTIL_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sans {
+
+/// Classic union-find over dense element ids [0, size).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t size)
+      : parent_(size), rank_(size, 0), num_components_(size) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  /// Representative of x's component; amortized near-O(1).
+  size_t Find(size_t x) {
+    SANS_CHECK_LT(x, parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the components of a and b; returns true if they were
+  /// distinct.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) return false;
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    --num_components_;
+    return true;
+  }
+
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  size_t size() const { return parent_.size(); }
+  size_t num_components() const { return num_components_; }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t num_components_;
+};
+
+}  // namespace sans
+
+#endif  // SANS_UTIL_UNION_FIND_H_

@@ -1,0 +1,163 @@
+// Adversarial inputs: degenerate matrices that stress worst-case
+// paths — all-identical columns (maximal runs in row-sorting, m²/2
+// candidates), all-empty tables, single-row/single-column shapes, and
+// full-density matrices. Every miner must stay correct (and
+// terminate) on all of them.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "matrix/row_stream.h"
+#include "mine/brute_force.h"
+#include "mine/hlsh_miner.h"
+#include "mine/kmh_miner.h"
+#include "mine/mh_miner.h"
+#include "mine/mlsh_miner.h"
+
+namespace sans {
+namespace {
+
+std::vector<std::unique_ptr<Miner>> AllMiners(uint64_t seed) {
+  std::vector<std::unique_ptr<Miner>> miners;
+  {
+    MhMinerConfig config;
+    config.min_hash.num_hashes = 32;
+    config.min_hash.seed = seed;
+    miners.push_back(std::make_unique<MhMiner>(config));
+  }
+  {
+    KmhMinerConfig config;
+    config.sketch.k = 32;
+    config.sketch.seed = seed;
+    miners.push_back(std::make_unique<KmhMiner>(config));
+  }
+  {
+    MlshMinerConfig config;
+    config.lsh.rows_per_band = 4;
+    config.lsh.num_bands = 8;
+    config.seed = seed;
+    miners.push_back(std::make_unique<MlshMiner>(config));
+  }
+  {
+    HlshMinerConfig config;
+    config.lsh.rows_per_run = 8;
+    config.lsh.num_runs = 4;
+    config.lsh.min_rows = 4;
+    config.lsh.seed = seed;
+    miners.push_back(std::make_unique<HlshMiner>(config));
+  }
+  return miners;
+}
+
+TEST(AdversarialTest, AllColumnsIdentical) {
+  // 20 identical columns: every pair has similarity 1 and the
+  // min-hash schemes see maximal runs. All miners must report all
+  // 190 pairs.
+  const ColumnId m = 20;
+  std::vector<std::vector<ColumnId>> rows(50);
+  for (RowId r = 0; r < 50; ++r) {
+    if (r % 3 == 0) {
+      for (ColumnId c = 0; c < m; ++c) rows[r].push_back(c);
+    }
+  }
+  auto matrix = BinaryMatrix::FromRows(50, m, rows);
+  ASSERT_TRUE(matrix.ok());
+  InMemorySource source(&*matrix);
+  for (auto& miner : AllMiners(3)) {
+    auto report = miner->Mine(source, 0.9);
+    ASSERT_TRUE(report.ok()) << miner->name();
+    EXPECT_EQ(report->pairs.size(), m * (m - 1) / 2u) << miner->name();
+    for (const SimilarPair& p : report->pairs) {
+      EXPECT_DOUBLE_EQ(p.similarity, 1.0);
+    }
+  }
+}
+
+TEST(AdversarialTest, EmptyTable) {
+  BinaryMatrix matrix(100, 50);
+  InMemorySource source(&matrix);
+  for (auto& miner : AllMiners(5)) {
+    auto report = miner->Mine(source, 0.5);
+    ASSERT_TRUE(report.ok()) << miner->name();
+    EXPECT_TRUE(report->pairs.empty()) << miner->name();
+    EXPECT_EQ(report->num_candidates, 0u) << miner->name();
+  }
+}
+
+TEST(AdversarialTest, SingleRowTable) {
+  auto matrix = BinaryMatrix::FromRows(1, 5, {{0, 1, 2, 3, 4}});
+  ASSERT_TRUE(matrix.ok());
+  InMemorySource source(&*matrix);
+  for (auto& miner : AllMiners(7)) {
+    auto report = miner->Mine(source, 0.5);
+    ASSERT_TRUE(report.ok()) << miner->name();
+    // All columns are the singleton {row 0}: similarity 1 everywhere.
+    // H-LSH may or may not see them depending on density bands; the
+    // min-hash schemes must.
+    if (miner->name() != "H-LSH") {
+      EXPECT_EQ(report->pairs.size(), 10u) << miner->name();
+    }
+    for (const SimilarPair& p : report->pairs) {
+      EXPECT_DOUBLE_EQ(p.similarity, 1.0);
+    }
+  }
+}
+
+TEST(AdversarialTest, SingleColumnTable) {
+  auto matrix = BinaryMatrix::FromRows(4, 1, {{0}, {}, {0}, {0}});
+  ASSERT_TRUE(matrix.ok());
+  InMemorySource source(&*matrix);
+  for (auto& miner : AllMiners(9)) {
+    auto report = miner->Mine(source, 0.5);
+    ASSERT_TRUE(report.ok()) << miner->name();
+    EXPECT_TRUE(report->pairs.empty()) << miner->name();
+  }
+}
+
+TEST(AdversarialTest, FullDensityMatrix) {
+  const ColumnId m = 10;
+  std::vector<std::vector<ColumnId>> rows(30);
+  for (RowId r = 0; r < 30; ++r) {
+    for (ColumnId c = 0; c < m; ++c) rows[r].push_back(c);
+  }
+  auto matrix = BinaryMatrix::FromRows(30, m, rows);
+  ASSERT_TRUE(matrix.ok());
+  InMemorySource source(&*matrix);
+  for (auto& miner : AllMiners(11)) {
+    auto report = miner->Mine(source, 0.99);
+    ASSERT_TRUE(report.ok()) << miner->name();
+    if (miner->name() != "H-LSH") {  // density 1.0 sits outside every band
+      EXPECT_EQ(report->pairs.size(), m * (m - 1) / 2u) << miner->name();
+    }
+  }
+}
+
+TEST(AdversarialTest, DisjointSingletonColumns) {
+  // Every column occupies its own row: all similarities are 0; no
+  // miner may report anything, and candidate counts stay small.
+  const ColumnId m = 30;
+  std::vector<std::vector<ColumnId>> rows(m);
+  for (ColumnId c = 0; c < m; ++c) rows[c] = {c};
+  auto matrix = BinaryMatrix::FromRows(m, m, rows);
+  ASSERT_TRUE(matrix.ok());
+  InMemorySource source(&*matrix);
+  for (auto& miner : AllMiners(13)) {
+    auto report = miner->Mine(source, 0.1);
+    ASSERT_TRUE(report.ok()) << miner->name();
+    EXPECT_TRUE(report->pairs.empty()) << miner->name();
+  }
+}
+
+TEST(AdversarialTest, BruteForceOnDegenerates) {
+  BinaryMatrix empty(10, 10);
+  auto pairs = BruteForceSimilarPairs(empty, 0.5);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+  auto top = TopKSimilarPairs(empty, 5);
+  ASSERT_TRUE(top.ok());
+  EXPECT_TRUE(top->empty());
+}
+
+}  // namespace
+}  // namespace sans

@@ -1,0 +1,100 @@
+#include "candgen/candidate_set.h"
+
+#include <gtest/gtest.h>
+
+namespace sans {
+namespace {
+
+TEST(ColumnPairTest, CanonicalOrder) {
+  const ColumnPair a(5, 2);
+  EXPECT_EQ(a.first, 2u);
+  EXPECT_EQ(a.second, 5u);
+  EXPECT_EQ(a, ColumnPair(2, 5));
+}
+
+TEST(ColumnPairTest, OrderingAndHash) {
+  EXPECT_LT(ColumnPair(1, 2), ColumnPair(1, 3));
+  EXPECT_LT(ColumnPair(1, 9), ColumnPair(2, 3));
+  ColumnPairHash hash;
+  EXPECT_EQ(hash(ColumnPair(3, 4)), hash(ColumnPair(4, 3)));
+  EXPECT_NE(hash(ColumnPair(3, 4)), hash(ColumnPair(3, 5)));
+}
+
+TEST(CandidateSetTest, AddAccumulatesCounts) {
+  CandidateSet set;
+  set.Add(ColumnPair(1, 2));
+  set.Add(ColumnPair(2, 1), 3);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.Count(ColumnPair(1, 2)), 4u);
+  EXPECT_TRUE(set.Contains(ColumnPair(1, 2)));
+  EXPECT_FALSE(set.Contains(ColumnPair(1, 3)));
+  EXPECT_EQ(set.Count(ColumnPair(1, 3)), 0u);
+}
+
+TEST(CandidateSetTest, InsertDoesNotBumpCount) {
+  CandidateSet set;
+  set.Insert(ColumnPair(1, 2));
+  EXPECT_EQ(set.Count(ColumnPair(1, 2)), 0u);
+  set.Add(ColumnPair(1, 2), 2);
+  set.Insert(ColumnPair(1, 2));
+  EXPECT_EQ(set.Count(ColumnPair(1, 2)), 2u);
+}
+
+TEST(CandidateSetTest, MergeSumsCounts) {
+  CandidateSet a;
+  a.Add(ColumnPair(1, 2), 2);
+  a.Add(ColumnPair(3, 4), 1);
+  CandidateSet b;
+  b.Add(ColumnPair(1, 2), 5);
+  b.Add(ColumnPair(5, 6), 1);
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.Count(ColumnPair(1, 2)), 7u);
+  EXPECT_EQ(a.Count(ColumnPair(5, 6)), 1u);
+}
+
+TEST(CandidateSetTest, PruneBelowDropsWeakPairs) {
+  CandidateSet set;
+  set.Add(ColumnPair(1, 2), 1);
+  set.Add(ColumnPair(3, 4), 5);
+  set.Add(ColumnPair(5, 6), 3);
+  set.PruneBelow(3);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_FALSE(set.Contains(ColumnPair(1, 2)));
+  EXPECT_TRUE(set.Contains(ColumnPair(3, 4)));
+}
+
+TEST(CandidateSetTest, SortedPairsIsDeterministic) {
+  CandidateSet set;
+  set.Add(ColumnPair(9, 1), 1);
+  set.Add(ColumnPair(0, 5), 1);
+  set.Add(ColumnPair(0, 2), 1);
+  const auto pairs = set.SortedPairs();
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], ColumnPair(0, 2));
+  EXPECT_EQ(pairs[1], ColumnPair(0, 5));
+  EXPECT_EQ(pairs[2], ColumnPair(1, 9));
+}
+
+TEST(CandidateSetTest, SortedEntriesCarryCounts) {
+  CandidateSet set;
+  set.Add(ColumnPair(2, 3), 7);
+  set.Add(ColumnPair(0, 1), 4);
+  const auto entries = set.SortedEntries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, ColumnPair(0, 1));
+  EXPECT_EQ(entries[0].second, 4u);
+  EXPECT_EQ(entries[1].second, 7u);
+}
+
+TEST(CandidateSetTest, EmptySetBehaves) {
+  CandidateSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_TRUE(set.SortedPairs().empty());
+  set.PruneBelow(10);  // no-op on empty
+  EXPECT_TRUE(set.empty());
+}
+
+}  // namespace
+}  // namespace sans

@@ -1,0 +1,110 @@
+#include "candgen/hash_count.h"
+
+#include <gtest/gtest.h>
+
+#include "candgen/row_sort.h"
+#include "data/synthetic_generator.h"
+#include "matrix/row_stream.h"
+#include "sketch/estimators.h"
+#include "sketch/min_hash.h"
+
+namespace sans {
+namespace {
+
+KMinHashSketch SketchOf(const BinaryMatrix& matrix, int k, uint64_t seed) {
+  KMinHashConfig config;
+  config.k = k;
+  config.seed = seed;
+  KMinHashGenerator generator(config);
+  InMemoryRowStream stream(&matrix);
+  auto sketch = generator.Compute(&stream);
+  EXPECT_TRUE(sketch.ok());
+  return std::move(sketch).value();
+}
+
+TEST(HashCountKMinHashTest, CountsEqualSignatureIntersections) {
+  auto m = BinaryMatrix::FromRows(6, 3,
+                                  {{0, 1}, {0, 1}, {0, 1}, {1, 2}, {2}, {0}});
+  ASSERT_TRUE(m.ok());
+  const KMinHashSketch sketch = SketchOf(*m, 4, 3);
+  const CandidateSet candidates = HashCountKMinHash(sketch, 1);
+  for (ColumnId i = 0; i < 3; ++i) {
+    for (ColumnId j = i + 1; j < 3; ++j) {
+      const uint64_t expected = SignatureIntersectionSize(
+          sketch.Signature(i), sketch.Signature(j));
+      EXPECT_EQ(candidates.Count(ColumnPair(i, j)), expected);
+    }
+  }
+}
+
+TEST(HashCountKMinHashTest, ThresholdFilters) {
+  auto m = BinaryMatrix::FromRows(6, 3,
+                                  {{0, 1}, {0, 1}, {0, 1}, {1, 2}, {2}, {0}});
+  ASSERT_TRUE(m.ok());
+  const KMinHashSketch sketch = SketchOf(*m, 6, 3);
+  // (0,1) share 3 rows, (1,2) share 1, (0,2) share 0.
+  const CandidateSet at2 = HashCountKMinHash(sketch, 2);
+  EXPECT_TRUE(at2.Contains(ColumnPair(0, 1)));
+  EXPECT_FALSE(at2.Contains(ColumnPair(1, 2)));
+  EXPECT_FALSE(at2.Contains(ColumnPair(0, 2)));
+  const CandidateSet at1 = HashCountKMinHash(sketch, 1);
+  EXPECT_TRUE(at1.Contains(ColumnPair(1, 2)));
+}
+
+TEST(HashCountMinHashTest, AgreesWithRowSorterExactly) {
+  // The paper presents row-sorting and hash-count as interchangeable
+  // implementations of the same candidate generation; their outputs
+  // must match pair-for-pair and count-for-count.
+  SyntheticConfig config;
+  config.num_rows = 300;
+  config.num_cols = 50;
+  config.bands = {{2, 55.0, 90.0}};
+  config.spread_pairs = false;
+  config.min_density = 0.05;
+  config.max_density = 0.12;
+  config.seed = 41;
+  auto dataset = GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok());
+
+  MinHashConfig mh;
+  mh.num_hashes = 20;
+  mh.seed = 6;
+  MinHashGenerator generator(mh);
+  InMemoryRowStream stream(&dataset->matrix);
+  auto sig = generator.Compute(&stream);
+  ASSERT_TRUE(sig.ok());
+
+  for (int min_agreements : {1, 3, 8, 15}) {
+    RowSorter sorter(&*sig);
+    const CandidateSet via_sort = sorter.Candidates(min_agreements);
+    const CandidateSet via_hash = HashCountMinHash(*sig, min_agreements);
+    EXPECT_EQ(via_sort.size(), via_hash.size())
+        << "min_agreements=" << min_agreements;
+    for (const auto& [pair, count] : via_sort) {
+      EXPECT_EQ(via_hash.Count(pair), count);
+    }
+  }
+}
+
+TEST(HashCountMinHashTest, SkipsEmptyColumns) {
+  SignatureMatrix sig(2, 3);
+  sig.SetValue(0, 0, 1);
+  sig.SetValue(1, 0, 2);
+  // Columns 1, 2 empty.
+  const CandidateSet candidates = HashCountMinHash(sig, 1);
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(HashCountKMinHashTest, EmptySketchYieldsNothing) {
+  KMinHashConfig config;
+  config.k = 4;
+  KMinHashGenerator generator(config);
+  BinaryMatrix empty(5, 4);
+  InMemoryRowStream stream(&empty);
+  auto sketch = generator.Compute(&stream);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_TRUE(HashCountKMinHash(*sketch, 1).empty());
+}
+
+}  // namespace
+}  // namespace sans

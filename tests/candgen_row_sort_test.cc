@@ -1,0 +1,127 @@
+#include "candgen/row_sort.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_generator.h"
+#include "matrix/row_stream.h"
+#include "sketch/min_hash.h"
+
+namespace sans {
+namespace {
+
+/// Hand-built signature matrix:
+///        c0  c1  c2  c3(empty)
+/// h0:     5   5   9   -
+/// h1:     2   3   2   -
+/// h2:     7   7   7   -
+SignatureMatrix HandBuilt() {
+  SignatureMatrix m(3, 4);
+  m.SetValue(0, 0, 5);
+  m.SetValue(0, 1, 5);
+  m.SetValue(0, 2, 9);
+  m.SetValue(1, 0, 2);
+  m.SetValue(1, 1, 3);
+  m.SetValue(1, 2, 2);
+  m.SetValue(2, 0, 7);
+  m.SetValue(2, 1, 7);
+  m.SetValue(2, 2, 7);
+  return m;
+}
+
+TEST(RowSorterTest, AgreementCountsAreExact) {
+  const SignatureMatrix m = HandBuilt();
+  RowSorter sorter(&m);
+  EXPECT_EQ(sorter.AgreementCount(0, 1), 2);  // h0 and h2
+  EXPECT_EQ(sorter.AgreementCount(0, 2), 2);  // h1 and h2
+  EXPECT_EQ(sorter.AgreementCount(1, 2), 1);  // h2 only
+}
+
+TEST(RowSorterTest, CandidatesRespectThreshold) {
+  const SignatureMatrix m = HandBuilt();
+  RowSorter sorter(&m);
+
+  const CandidateSet at2 = sorter.Candidates(2);
+  EXPECT_EQ(at2.size(), 2u);
+  EXPECT_EQ(at2.Count(ColumnPair(0, 1)), 2u);
+  EXPECT_EQ(at2.Count(ColumnPair(0, 2)), 2u);
+  EXPECT_FALSE(at2.Contains(ColumnPair(1, 2)));
+
+  const CandidateSet at1 = sorter.Candidates(1);
+  EXPECT_EQ(at1.size(), 3u);
+  EXPECT_EQ(at1.Count(ColumnPair(1, 2)), 1u);
+
+  const CandidateSet at3 = sorter.Candidates(3);
+  EXPECT_EQ(at3.size(), 0u);
+}
+
+TEST(RowSorterTest, EmptyColumnsNeverPair) {
+  SignatureMatrix m(2, 3);
+  // Columns 1 and 2 empty; column 0 populated.
+  m.SetValue(0, 0, 4);
+  m.SetValue(1, 0, 6);
+  RowSorter sorter(&m);
+  const CandidateSet candidates = sorter.Candidates(1);
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(RowSorterTest, TotalRunIncrementsMatchesRunLengths) {
+  const SignatureMatrix m = HandBuilt();
+  RowSorter sorter(&m);
+  // Runs (excluding the empty column c3 which forms its own sentinel
+  // run of length 1 per row... c3 = sentinel in all rows):
+  // h0: {5,5},{9},{inf} -> 2*1
+  // h1: {2,2},{3},{inf} -> 2*1
+  // h2: {7,7,7},{inf}   -> 3*2
+  // Sum of len*(len-1): 2 + 2 + 6 = 10.
+  EXPECT_EQ(sorter.TotalRunIncrements(), 10u);
+}
+
+TEST(RowSortCandidatesTest, FractionMapsToAgreementCount) {
+  const SignatureMatrix m = HandBuilt();
+  // k = 3; fraction 0.6 -> ceil(1.8) = 2 agreements.
+  const CandidateSet c = RowSortCandidates(m, 0.6);
+  EXPECT_EQ(c.size(), 2u);
+  // fraction 0 -> at least 1 agreement.
+  const CandidateSet all = RowSortCandidates(m, 0.0);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(RowSorterTest, MatchesBruteForceOnGeneratedData) {
+  SyntheticConfig config;
+  config.num_rows = 400;
+  config.num_cols = 60;
+  config.bands = {{3, 60.0, 90.0}};
+  config.spread_pairs = false;
+  config.min_density = 0.05;
+  config.max_density = 0.1;
+  config.seed = 31;
+  auto dataset = GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok());
+
+  MinHashConfig mh;
+  mh.num_hashes = 24;
+  mh.seed = 5;
+  MinHashGenerator generator(mh);
+  InMemoryRowStream stream(&dataset->matrix);
+  auto sig = generator.Compute(&stream);
+  ASSERT_TRUE(sig.ok());
+
+  RowSorter sorter(&*sig);
+  const CandidateSet candidates = sorter.Candidates(6);
+  // Cross-check every pair against the O(k) direct count.
+  for (ColumnId i = 0; i < 60; ++i) {
+    for (ColumnId j = i + 1; j < 60; ++j) {
+      const int agreements = sorter.AgreementCount(i, j);
+      const ColumnPair pair(i, j);
+      if (agreements >= 6) {
+        EXPECT_EQ(candidates.Count(pair),
+                  static_cast<uint64_t>(agreements));
+      } else {
+        EXPECT_FALSE(candidates.Contains(pair));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sans

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the sans CLI: generate → stats → mine
+# (several algorithms) → rules → exclusions → truth → convert, checking
+# exit codes and basic output invariants.
+set -euo pipefail
+
+SANS_BIN="$1"
+WORK_DIR="$(mktemp -d "${TMPDIR:-/tmp}/sans_cli_smoke.XXXXXX")"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+cd "$WORK_DIR"
+
+echo "== generate =="
+"$SANS_BIN" generate --kind news --out corpus.sans --rows 4000 \
+    --cols 1200 --seed 11 | tee generate.out
+grep -q 'planted 16 collocations' generate.out
+test -s corpus.sans
+
+echo "== stats =="
+"$SANS_BIN" stats --in corpus.sans | tee stats.out
+grep -q 'rows: 4000' stats.out
+grep -q 'cols: 1200' stats.out
+
+echo "== mine (each algorithm) =="
+for algo in mh kmh mlsh hlsh auto; do
+  "$SANS_BIN" mine --in corpus.sans --algorithm "$algo" \
+      --threshold 0.6 --seed 5 > "mine_$algo.out"
+  head -1 "mine_$algo.out" | grep -q 'pairs'
+done
+# MH with generous k is the reference; kmh must agree on the pair set.
+tail -n +2 mine_mh.out | cut -f1,2 | sort > mh_pairs.txt
+tail -n +2 mine_kmh.out | cut -f1,2 | sort > kmh_pairs.txt
+diff mh_pairs.txt kmh_pairs.txt
+
+echo "== truth matches mh =="
+"$SANS_BIN" truth --in corpus.sans --threshold 0.6 > truth.out
+tail -n +2 truth.out | cut -f1,2 | sort > truth_pairs.txt
+diff truth_pairs.txt mh_pairs.txt
+
+echo "== rules =="
+"$SANS_BIN" rules --in corpus.sans --threshold 0.95 --k 150 > rules.out
+head -1 rules.out | grep -q 'rules'
+
+echo "== exclusions =="
+"$SANS_BIN" exclusions --in corpus.sans --support 0.02 \
+    --max-lift 0.2 > exclusions.out
+head -1 exclusions.out | grep -q 'anticorrelated'
+
+echo "== convert round trip =="
+"$SANS_BIN" convert --in corpus.sans --out corpus.txt
+"$SANS_BIN" convert --in corpus.txt --out corpus2.sans
+"$SANS_BIN" stats --in corpus2.sans | grep -q 'rows: 4000'
+
+echo "== sketch / pairs =="
+"$SANS_BIN" sketch --in corpus.sans --out corpus.sketch --k 120 --seed 9
+test -s corpus.sketch
+"$SANS_BIN" pairs --sketch corpus.sketch --threshold 0.5 > pairs.out
+head -1 pairs.out | grep -q 'ESTIMATED'
+
+echo "== clusters / disjunctions =="
+"$SANS_BIN" clusters --in corpus.sans --threshold 0.5 --min-size 3 > clusters.out
+head -1 clusters.out | grep -q 'clusters'
+"$SANS_BIN" disjunctions --in corpus.sans --threshold 0.6 > disj.out
+head -1 disj.out | grep -q 'disjunction'
+
+echo "== bad input is rejected =="
+if "$SANS_BIN" mine --in /nonexistent.sans --algorithm mh 2>/dev/null; then
+  echo "expected failure on missing input" >&2
+  exit 1
+fi
+if "$SANS_BIN" mine --in corpus.sans --algorithm bogus 2>/dev/null; then
+  echo "expected failure on bad algorithm" >&2
+  exit 1
+fi
+
+echo "CLI smoke test passed"

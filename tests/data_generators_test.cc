@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "data/news_generator.h"
+#include "data/synthetic_generator.h"
+#include "data/weblog_generator.h"
+
+namespace sans {
+namespace {
+
+TEST(SyntheticGeneratorTest, Validation) {
+  SyntheticConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.num_cols = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.min_density = 0.5;
+  config.max_density = 0.2;
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.num_cols = 100;  // only one pair slot per 100 columns
+  EXPECT_FALSE(config.Validate().ok());  // default 100 pairs don't fit
+}
+
+TEST(SyntheticGeneratorTest, PlantedPairsHitTargetSimilarity) {
+  SyntheticConfig config;
+  config.num_rows = 2000;
+  config.num_cols = 500;
+  config.bands = {{1, 85.0, 95.0}, {1, 45.0, 55.0}};
+  config.seed = 1;
+  auto dataset = GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok());
+  ASSERT_EQ(dataset->planted.size(), 2u);
+  for (const PlantedPair& p : dataset->planted) {
+    const double realized =
+        dataset->matrix.Similarity(p.pair.first, p.pair.second);
+    EXPECT_NEAR(realized, p.target_similarity, 1e-9)
+        << "recorded target must be the realized similarity";
+  }
+  // Band membership (generous slack for integer rounding).
+  EXPECT_GT(dataset->planted[0].target_similarity, 0.8);
+  EXPECT_LT(dataset->planted[1].target_similarity, 0.6);
+}
+
+TEST(SyntheticGeneratorTest, PaperLayoutSpreadsPairs) {
+  SyntheticConfig config;
+  config.num_rows = 500;
+  config.seed = 2;  // default bands: 100 pairs at columns (100i, 100i+1)
+  auto dataset = GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok());
+  ASSERT_EQ(dataset->planted.size(), 100u);
+  EXPECT_EQ(dataset->planted[0].pair, ColumnPair(0, 1));
+  EXPECT_EQ(dataset->planted[1].pair, ColumnPair(100, 101));
+}
+
+TEST(SyntheticGeneratorTest, DensitiesInRange) {
+  SyntheticConfig config;
+  config.num_rows = 5000;
+  config.num_cols = 200;
+  config.bands = {{1, 60.0, 70.0}};
+  config.min_density = 0.02;
+  config.max_density = 0.05;
+  config.seed = 3;
+  auto dataset = GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok());
+  for (ColumnId c = 0; c < 200; ++c) {
+    const double d = dataset->matrix.ColumnDensity(c);
+    EXPECT_GE(d, 0.015) << "column " << c;
+    EXPECT_LE(d, 0.06) << "column " << c;
+  }
+}
+
+TEST(SyntheticGeneratorTest, DeterministicFromSeed) {
+  SyntheticConfig config;
+  config.num_rows = 300;
+  config.num_cols = 100;
+  config.bands = {{1, 50.0, 60.0}};
+  config.seed = 7;
+  auto a = GenerateSynthetic(config);
+  auto b = GenerateSynthetic(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->matrix.num_ones(), b->matrix.num_ones());
+  for (RowId r = 0; r < 300; ++r) {
+    const auto ra = a->matrix.Row(r);
+    const auto rb = b->matrix.Row(r);
+    ASSERT_EQ(std::vector<ColumnId>(ra.begin(), ra.end()),
+              std::vector<ColumnId>(rb.begin(), rb.end()));
+  }
+}
+
+TEST(WeblogGeneratorTest, Validation) {
+  WeblogConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.num_bundles = 1000;  // 1000 * 5 columns > 1300 urls
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.resource_load_probability = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(WeblogGeneratorTest, BundlesProduceHighSimilarity) {
+  WeblogConfig config;
+  config.num_clients = 8000;
+  config.num_urls = 400;
+  config.num_bundles = 20;
+  config.min_resource_load_probability = 0.9;  // fresh-resource regime
+  config.seed = 5;
+  auto dataset = GenerateWeblog(config);
+  ASSERT_TRUE(dataset.ok());
+  ASSERT_EQ(dataset->bundles.size(), 20u);
+
+  // Parent-resource and resource-resource pairs should be clearly
+  // more similar than random page pairs. Average over bundles.
+  double bundle_sim = 0.0;
+  int bundle_pairs = 0;
+  for (const UrlBundle& bundle : dataset->bundles) {
+    for (ColumnId res : bundle.resources) {
+      if (dataset->matrix.ColumnCardinality(res) == 0) continue;
+      bundle_sim += dataset->matrix.Similarity(bundle.parent, res);
+      ++bundle_pairs;
+    }
+  }
+  ASSERT_GT(bundle_pairs, 0);
+  bundle_sim /= bundle_pairs;
+  EXPECT_GT(bundle_sim, 0.7);
+}
+
+TEST(WeblogGeneratorTest, MostColumnsAreSparse) {
+  WeblogConfig config;
+  config.num_clients = 5000;
+  config.num_urls = 500;
+  config.seed = 9;
+  auto dataset = GenerateWeblog(config);
+  ASSERT_TRUE(dataset.ok());
+  int sparse = 0;
+  for (ColumnId c = 0; c < 500; ++c) {
+    if (dataset->matrix.ColumnDensity(c) < 0.02) ++sparse;
+  }
+  // The Zipf tail keeps the overwhelming majority of URLs rare.
+  EXPECT_GT(sparse, 400);
+}
+
+TEST(WeblogGeneratorTest, UrlNamesDistinguishResources) {
+  WeblogConfig config;
+  config.num_clients = 100;
+  config.num_urls = 50;
+  config.num_bundles = 3;
+  config.seed = 2;
+  auto dataset = GenerateWeblog(config);
+  ASSERT_TRUE(dataset.ok());
+  ASSERT_EQ(dataset->url_names.size(), 50u);
+  for (const UrlBundle& bundle : dataset->bundles) {
+    EXPECT_NE(dataset->url_names[bundle.parent].find(".html"),
+              std::string::npos);
+    for (ColumnId res : bundle.resources) {
+      EXPECT_NE(dataset->url_names[res].find(".gif"), std::string::npos);
+    }
+  }
+}
+
+TEST(NewsGeneratorTest, Validation) {
+  NewsConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.vocab_size = 10;  // cannot hold the planted words
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.cluster_coherence = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(NewsGeneratorTest, CollocationsAreLowSupportHighSimilarity) {
+  NewsConfig config;
+  config.num_docs = 5000;
+  config.vocab_size = 600;
+  config.num_collocations = 10;
+  config.collocation_docs = 15;
+  config.seed = 3;
+  auto dataset = GenerateNews(config);
+  ASSERT_TRUE(dataset.ok());
+  ASSERT_EQ(dataset->collocations.size(), 10u);
+  for (const ColumnPair& pair : dataset->collocations) {
+    // Low support: each word in well under 1% of documents.
+    EXPECT_LT(dataset->matrix.ColumnDensity(pair.first), 0.01);
+    EXPECT_LT(dataset->matrix.ColumnDensity(pair.second), 0.01);
+    // High similarity despite low support.
+    EXPECT_GT(dataset->matrix.Similarity(pair.first, pair.second), 0.5);
+  }
+}
+
+TEST(NewsGeneratorTest, FigureOneWordsArePresent) {
+  NewsConfig config;
+  config.num_docs = 500;
+  config.vocab_size = 300;
+  config.seed = 4;
+  auto dataset = GenerateNews(config);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->words[dataset->collocations[0].first], "dalai");
+  EXPECT_EQ(dataset->words[dataset->collocations[0].second], "lama");
+  // The chess cluster labels the first planted cluster.
+  ASSERT_FALSE(dataset->clusters.empty());
+  EXPECT_EQ(dataset->words[dataset->clusters[0][0]], "chess");
+}
+
+TEST(NewsGeneratorTest, ClusterWordsPairwiseSimilar) {
+  NewsConfig config;
+  config.num_docs = 4000;
+  config.vocab_size = 500;
+  config.num_clusters = 2;
+  config.cluster_size = 5;
+  config.cluster_docs = 20;
+  config.cluster_coherence = 0.9;
+  config.seed = 6;
+  auto dataset = GenerateNews(config);
+  ASSERT_TRUE(dataset.ok());
+  for (const auto& cluster : dataset->clusters) {
+    double mean = 0.0;
+    int pairs = 0;
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.size(); ++j) {
+        mean += dataset->matrix.Similarity(cluster[i], cluster[j]);
+        ++pairs;
+      }
+    }
+    mean /= pairs;
+    EXPECT_GT(mean, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace sans

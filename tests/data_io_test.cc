@@ -1,0 +1,123 @@
+#include "data/dataset_io.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/synthetic_generator.h"
+
+namespace sans {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-process unique dir: ctest runs each test case as its own
+    // process, so a static counter alone would collide in parallel.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sans_dataset_io_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static int counter_;
+  std::filesystem::path dir_;
+};
+
+int DatasetIoTest::counter_ = 0;
+
+TEST_F(DatasetIoTest, RoundTrip) {
+  auto m = BinaryMatrix::FromRows(4, 5, {{0, 4}, {}, {1, 2, 3}, {2}});
+  ASSERT_TRUE(m.ok());
+  const std::string path = Path("t.txt");
+  ASSERT_TRUE(SaveTransactions(*m, path).ok());
+  auto loaded = LoadTransactions(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 4u);
+  EXPECT_EQ(loaded->num_cols(), 5u);
+  EXPECT_EQ(loaded->num_ones(), m->num_ones());
+}
+
+TEST_F(DatasetIoTest, LoadParsesHandWrittenFile) {
+  const std::string path = Path("hand.txt");
+  {
+    std::ofstream out(path);
+    out << "3 1 7\n\n2 2 2\n";
+  }
+  auto loaded = LoadTransactions(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 3u);
+  EXPECT_EQ(loaded->num_cols(), 8u);  // max id 7
+  const auto row0 = loaded->Row(0);
+  ASSERT_EQ(row0.size(), 3u);
+  EXPECT_EQ(row0[0], 1u);
+  EXPECT_EQ(row0[2], 7u);
+  EXPECT_EQ(loaded->RowSize(1), 0u);
+  EXPECT_EQ(loaded->RowSize(2), 1u);  // duplicates collapsed
+}
+
+TEST_F(DatasetIoTest, MinColsWidensMatrix) {
+  const std::string path = Path("narrow.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n";
+  }
+  auto loaded = LoadTransactions(path, /*min_cols=*/10);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_cols(), 10u);
+}
+
+TEST_F(DatasetIoTest, RejectsGarbageTokens) {
+  const std::string path = Path("bad.txt");
+  {
+    std::ofstream out(path);
+    out << "1 banana 3\n";
+  }
+  auto loaded = LoadTransactions(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(DatasetIoTest, RejectsOverflowingIds) {
+  const std::string path = Path("big.txt");
+  {
+    std::ofstream out(path);
+    out << "99999999999999999999\n";
+  }
+  EXPECT_FALSE(LoadTransactions(path).ok());
+}
+
+TEST_F(DatasetIoTest, MissingFileIsIOError) {
+  auto loaded = LoadTransactions(Path("nope.txt"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(DatasetIoTest, GeneratedDataSurvivesRoundTrip) {
+  SyntheticConfig config;
+  config.num_rows = 200;
+  config.num_cols = 120;
+  config.bands = {{1, 70.0, 80.0}};
+  config.seed = 5;
+  auto dataset = GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok());
+  const std::string path = Path("synth.txt");
+  ASSERT_TRUE(SaveTransactions(dataset->matrix, path).ok());
+  auto loaded = LoadTransactions(path, config.num_cols);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_cols(), dataset->matrix.num_cols());
+  const ColumnPair planted = dataset->planted[0].pair;
+  EXPECT_DOUBLE_EQ(
+      loaded->Similarity(planted.first, planted.second),
+      dataset->matrix.Similarity(planted.first, planted.second));
+}
+
+}  // namespace
+}  // namespace sans

@@ -1,0 +1,155 @@
+#include "data/shingling.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/row_stream.h"
+#include "sketch/min_hash.h"
+
+namespace sans {
+namespace {
+
+TEST(ShinglingOptionsTest, Validation) {
+  ShinglingOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.shingle_size = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.num_shingle_buckets = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(TokenizeTest, NormalizationLowercasesAndStripsPunctuation) {
+  const auto tokens =
+      TokenizeForShingling("Hello, World!  The quick-brown fox.", true);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"hello", "world", "the",
+                                              "quick", "brown", "fox"}));
+}
+
+TEST(TokenizeTest, RawModeSplitsOnWhitespaceOnly) {
+  const auto tokens = TokenizeForShingling("Hello, World!", false);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"Hello,", "World!"}));
+}
+
+TEST(TokenizeTest, EmptyAndWhitespaceInputs) {
+  EXPECT_TRUE(TokenizeForShingling("", true).empty());
+  EXPECT_TRUE(TokenizeForShingling("   \t\n ", true).empty());
+}
+
+TEST(HashedShinglesTest, CountAndDeterminism) {
+  ShinglingOptions options;
+  options.shingle_size = 3;
+  // 6 tokens, w = 3 -> 4 shingles (all distinct here).
+  const auto s1 = HashedShingles("a b c d e f", options);
+  EXPECT_EQ(s1.size(), 4u);
+  EXPECT_EQ(s1, HashedShingles("a b c d e f", options));
+  // Sorted distinct.
+  for (size_t i = 1; i < s1.size(); ++i) {
+    EXPECT_LT(s1[i - 1], s1[i]);
+  }
+}
+
+TEST(HashedShinglesTest, ShortDocumentsStillShingle) {
+  ShinglingOptions options;
+  options.shingle_size = 5;
+  EXPECT_EQ(HashedShingles("only three tokens", options).size(), 1u);
+  EXPECT_TRUE(HashedShingles("", options).empty());
+}
+
+TEST(HashedShinglesTest, OrderMatters) {
+  ShinglingOptions options;
+  options.shingle_size = 2;
+  const auto ab = HashedShingles("alpha beta", options);
+  const auto ba = HashedShingles("beta alpha", options);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashedShinglesTest, SeedChangesHashes) {
+  ShinglingOptions a;
+  a.seed = 1;
+  ShinglingOptions b;
+  b.seed = 2;
+  EXPECT_NE(HashedShingles("one two three four five", a),
+            HashedShingles("one two three four five", b));
+}
+
+TEST(ResemblanceTest, IdentityAndDisjoint) {
+  ShinglingOptions options;
+  options.shingle_size = 3;
+  const std::string text = "the quick brown fox jumps over the lazy dog";
+  EXPECT_DOUBLE_EQ(Resemblance(text, text, options), 1.0);
+  EXPECT_DOUBLE_EQ(
+      Resemblance(text, "completely different words entirely here now",
+                  options),
+      0.0);
+  EXPECT_DOUBLE_EQ(Resemblance("", "", options), 0.0);
+}
+
+TEST(ResemblanceTest, PartialOverlapIsBetween) {
+  ShinglingOptions options;
+  options.shingle_size = 2;
+  const double r = Resemblance("a b c d e f g h",
+                               "a b c d x y z w", options);
+  EXPECT_GT(r, 0.0);
+  EXPECT_LT(r, 1.0);
+}
+
+TEST(ShingleDocumentsTest, MatrixSimilarityEqualsResemblance) {
+  ShinglingOptions options;
+  options.shingle_size = 3;
+  options.num_shingle_buckets = 1u << 16;
+  const std::vector<std::string> docs = {
+      "the quick brown fox jumps over the lazy dog near the river bank",
+      "the quick brown fox jumps over the lazy dog near the river shore",
+      "completely unrelated text about database systems and hashing",
+  };
+  auto matrix = ShingleDocuments(docs, options);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ(matrix->num_cols(), 3u);
+  for (ColumnId a = 0; a < 3; ++a) {
+    for (ColumnId b = a + 1; b < 3; ++b) {
+      EXPECT_NEAR(matrix->Similarity(a, b),
+                  Resemblance(docs[a], docs[b], options), 1e-12)
+          << "pair (" << a << ", " << b << ")";
+    }
+  }
+  EXPECT_GT(matrix->Similarity(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(matrix->Similarity(0, 2), 0.0);
+}
+
+TEST(ShingleDocumentsTest, MinHashPipelineEstimatesResemblance) {
+  // End-to-end: shingle matrix -> min-hash -> estimate ~= exact
+  // resemblance. A paragraph with a lightly edited copy.
+  const std::string base =
+      "data mining of large tables requires algorithms whose cost does "
+      "not depend on a support threshold because many interesting "
+      "patterns live among rare items and attributes of the data";
+  std::string edited = base;
+  edited.replace(edited.find("large"), 5, "huge ");
+  const std::vector<std::string> docs = {base, edited,
+                                         "an unrelated sentence"};
+  ShinglingOptions options;
+  options.shingle_size = 3;
+  auto matrix = ShingleDocuments(docs, options);
+  ASSERT_TRUE(matrix.ok());
+
+  MinHashConfig mh;
+  mh.num_hashes = 400;
+  mh.seed = 7;
+  MinHashGenerator generator(mh);
+  InMemoryRowStream stream(&matrix.value());
+  auto signatures = generator.Compute(&stream);
+  ASSERT_TRUE(signatures.ok());
+  const double exact = matrix->Similarity(0, 1);
+  EXPECT_GT(exact, 0.5);
+  EXPECT_NEAR(signatures->FractionEqual(0, 1), exact, 0.1);
+}
+
+TEST(ShingleDocumentsTest, EmptyCollection) {
+  ShinglingOptions options;
+  auto matrix = ShingleDocuments({}, options);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ(matrix->num_cols(), 0u);
+}
+
+}  // namespace
+}  // namespace sans

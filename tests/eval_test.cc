@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "eval/metrics.h"
+#include "eval/scurve.h"
+#include "eval/sweep.h"
+#include "eval/table_printer.h"
+
+#include "data/synthetic_generator.h"
+#include "matrix/row_stream.h"
+#include "mine/brute_force.h"
+#include "mine/mh_miner.h"
+
+namespace sans {
+namespace {
+
+std::vector<SimilarPair> Truth() {
+  return {
+      {ColumnPair(0, 1), 0.9},
+      {ColumnPair(2, 3), 0.6},
+      {ColumnPair(4, 5), 0.4},
+      {ColumnPair(6, 7), 0.2},
+  };
+}
+
+TEST(GroundTruthTest, LookupAndCounts) {
+  const GroundTruth truth(Truth());
+  EXPECT_EQ(truth.size(), 4u);
+  EXPECT_DOUBLE_EQ(truth.Similarity(ColumnPair(0, 1)), 0.9);
+  EXPECT_DOUBLE_EQ(truth.Similarity(ColumnPair(9, 10)), 0.0);
+  EXPECT_EQ(truth.CountAtOrAbove(0.5), 2u);
+  EXPECT_EQ(truth.CountAtOrAbove(0.0), 4u);
+  const auto above = truth.PairsAtOrAbove(0.5);
+  ASSERT_EQ(above.size(), 2u);
+  EXPECT_EQ(above[0], ColumnPair(0, 1));
+  EXPECT_EQ(above[1], ColumnPair(2, 3));
+}
+
+TEST(ScorePairsTest, ConfusionCounts) {
+  const GroundTruth truth(Truth());
+  // Found: one real positive, one below-cutoff pair, one unknown.
+  const std::vector<ColumnPair> found = {
+      ColumnPair(0, 1), ColumnPair(4, 5), ColumnPair(20, 21)};
+  const PairMetrics metrics = ScorePairs(truth, found, 0.5);
+  EXPECT_EQ(metrics.true_positives, 1u);
+  EXPECT_EQ(metrics.false_positives, 2u);
+  EXPECT_EQ(metrics.false_negatives, 1u);  // (2,3) missed
+  EXPECT_DOUBLE_EQ(metrics.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(metrics.precision(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(metrics.false_negative_rate(), 0.5);
+}
+
+TEST(ScorePairsTest, DuplicatesInFoundCollapse) {
+  const GroundTruth truth(Truth());
+  const std::vector<ColumnPair> found = {
+      ColumnPair(0, 1), ColumnPair(1, 0), ColumnPair(0, 1)};
+  const PairMetrics metrics = ScorePairs(truth, found, 0.5);
+  EXPECT_EQ(metrics.true_positives, 1u);
+  EXPECT_EQ(metrics.false_positives, 0u);
+}
+
+TEST(ScorePairsTest, EmptyEverything) {
+  const GroundTruth truth(std::vector<SimilarPair>{});
+  const PairMetrics metrics = ScorePairs(truth, {}, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.precision(), 1.0);
+}
+
+TEST(SCurveTest, BucketsAndRatios) {
+  const GroundTruth truth(Truth());
+  // Find (0,1) and (4,5); miss (2,3); (6,7) is below the floor.
+  const std::vector<ColumnPair> found = {ColumnPair(0, 1),
+                                         ColumnPair(4, 5)};
+  const SCurve curve = ComputeSCurve(truth, found, 0.3, 7);
+  // Bins of width 0.1: [0.3,0.4) ... [0.9,1.0].
+  ASSERT_EQ(curve.bin_center.size(), 7u);
+  double total_actual = 0.0;
+  for (auto a : curve.actual) total_actual += a;
+  EXPECT_EQ(total_actual, 3.0);  // (6,7) excluded by the floor
+  // Pair (4,5) at 0.4 lands in bin 1; found.
+  EXPECT_EQ(curve.actual[1], 1u);
+  EXPECT_EQ(curve.found[1], 1u);
+  EXPECT_DOUBLE_EQ(curve.Ratio(1), 1.0);
+  // Pair (2,3) at 0.6 lands in bin 3; missed.
+  EXPECT_EQ(curve.actual[3], 1u);
+  EXPECT_DOUBLE_EQ(curve.Ratio(3), 0.0);
+  // Empty bins report -1.
+  EXPECT_DOUBLE_EQ(curve.Ratio(0), -1.0);
+  // ToString renders only non-empty bins (3 lines).
+  const std::string rendered = curve.ToString();
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 3);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"algo", "time", "fp"});
+  table.AddRow({"MH", "71.4", "12"});
+  table.AddRow({"M-LSH", "5.1", "10000"});
+  const std::string out = table.ToString();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("algo"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("M-LSH"), std::string::npos);
+  // Rows align: every line has the same length.
+  size_t prev = std::string::npos;
+  size_t start = 0;
+  while (start < out.size()) {
+    const size_t end = out.find('\n', start);
+    const size_t len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(TablePrinterTest, ShortRowsPadAndFormatHelpers) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"x"});
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(TablePrinter::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Int(42), "42");
+}
+
+TEST(RunAndScoreTest, EndToEndMetrics) {
+  SyntheticConfig config;
+  config.num_rows = 800;
+  config.num_cols = 80;
+  config.bands = {{3, 80.0, 90.0}};
+  config.spread_pairs = false;
+  config.seed = 9;
+  auto dataset = GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok());
+  InMemorySource source(&dataset->matrix);
+  auto truth_pairs = BruteForceAllNonzeroPairs(dataset->matrix);
+  ASSERT_TRUE(truth_pairs.ok());
+  const GroundTruth truth(*truth_pairs);
+
+  MhMinerConfig miner_config;
+  miner_config.min_hash.num_hashes = 100;
+  miner_config.min_hash.seed = 4;
+  MhMiner miner(miner_config);
+  SweepOptions options;
+  options.threshold = 0.5;
+  auto result = RunAndScore(miner, source, truth, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->algorithm, "MH");
+  // Verified output: no false positives by construction.
+  EXPECT_EQ(result->output_metrics.false_positives, 0u);
+  // All three planted 0.8+ pairs found.
+  EXPECT_GE(result->output_metrics.true_positives, 3u);
+  EXPECT_GT(result->seconds(), 0.0);
+  // Candidate metrics are internally consistent.
+  EXPECT_EQ(result->candidate_metrics.true_positives +
+                result->candidate_metrics.false_positives,
+            result->report.num_candidates);
+}
+
+}  // namespace
+}  // namespace sans

@@ -1,0 +1,121 @@
+#include "lsh/filter_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sans {
+namespace {
+
+TEST(BandCollisionProbabilityTest, ClosedFormMatches) {
+  // P_{r,l}(s) = 1 - (1 - s^r)^l.
+  for (double s : {0.1, 0.5, 0.9}) {
+    for (int r : {1, 3, 10}) {
+      for (int l : {1, 4, 20}) {
+        const double expected =
+            1.0 - std::pow(1.0 - std::pow(s, r), l);
+        EXPECT_NEAR(BandCollisionProbability(s, r, l), expected, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(BandCollisionProbabilityTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(BandCollisionProbability(0.0, 5, 5), 0.0);
+  EXPECT_DOUBLE_EQ(BandCollisionProbability(1.0, 5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(BandCollisionProbability(0.5, 1, 1), 0.5);
+}
+
+TEST(BandCollisionProbabilityTest, MonotoneInSimilarity) {
+  double prev = -1.0;
+  for (double s = 0.0; s <= 1.0001; s += 0.05) {
+    const double p = BandCollisionProbability(std::min(s, 1.0), 8, 10);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(BandCollisionProbabilityTest, MonotoneInParameters) {
+  // More bands: probability up. More rows per band: probability down.
+  EXPECT_GT(BandCollisionProbability(0.5, 5, 20),
+            BandCollisionProbability(0.5, 5, 5));
+  EXPECT_LT(BandCollisionProbability(0.5, 10, 5),
+            BandCollisionProbability(0.5, 5, 5));
+}
+
+TEST(BandCollisionProbabilityTest, StableForTinyProbabilities) {
+  // s^r underflows naive 1-(1-x)^l formulations; log1p/expm1 keeps the
+  // value ≈ l·s^r.
+  const double p = BandCollisionProbability(0.01, 10, 100);
+  EXPECT_NEAR(p, 100.0 * std::pow(0.01, 10), 1e-22);
+  EXPECT_GT(p, 0.0);
+}
+
+TEST(BandCollisionProbabilityTest, SharpensTowardStepFunction) {
+  // Fig. 2a: larger (r, l) pairs give a sharper S-curve around the
+  // threshold. Compare slopes across the band threshold.
+  const double t5 = BandThreshold(5, 5);
+  const double below5 = BandCollisionProbability(t5 - 0.15, 5, 5);
+  const double above5 = BandCollisionProbability(t5 + 0.15, 5, 5);
+  const double t20 = BandThreshold(20, 20);
+  const double below20 = BandCollisionProbability(t20 - 0.15, 20, 20);
+  const double above20 = BandCollisionProbability(t20 + 0.15, 20, 20);
+  EXPECT_GT(above20 - below20, above5 - below5);
+}
+
+TEST(BandThresholdTest, CrossesHalfAtThreshold) {
+  for (int r : {2, 5, 10, 20}) {
+    for (int l : {2, 5, 20}) {
+      const double t = BandThreshold(r, l);
+      EXPECT_NEAR(BandCollisionProbability(t, r, l), 0.5, 1e-9);
+    }
+  }
+}
+
+TEST(SampledCollisionGivenAgreementsTest, MatchesBandFormulaOnRatio) {
+  // q_{r,l,k}(d) = P_{r,l}(d / k).
+  EXPECT_NEAR(SampledCollisionGivenAgreements(20, 40, 5, 10),
+              BandCollisionProbability(0.5, 5, 10), 1e-12);
+  EXPECT_DOUBLE_EQ(SampledCollisionGivenAgreements(0, 40, 5, 10), 0.0);
+  EXPECT_DOUBLE_EQ(SampledCollisionGivenAgreements(40, 40, 5, 10), 1.0);
+}
+
+TEST(SampledBandCollisionProbabilityTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(SampledBandCollisionProbability(0.0, 5, 5, 40), 0.0);
+  EXPECT_DOUBLE_EQ(SampledBandCollisionProbability(1.0, 5, 5, 40), 1.0);
+}
+
+TEST(SampledBandCollisionProbabilityTest, MonotoneInSimilarity) {
+  double prev = -1.0;
+  for (double s = 0.0; s <= 1.0001; s += 0.1) {
+    const double q =
+        SampledBandCollisionProbability(std::min(s, 1.0), 5, 10, 40);
+    EXPECT_GE(q, prev - 1e-12);
+    prev = q;
+  }
+}
+
+TEST(SampledBandCollisionProbabilityTest, ApproachesPForLargeK) {
+  // Fig. 2b: Q_{r,l,k} -> P_{r,l} as k grows; P is always the sharper
+  // filter. Check convergence at a few similarities.
+  for (double s : {0.3, 0.6, 0.8}) {
+    const double p = BandCollisionProbability(s, 5, 10);
+    const double q_small =
+        SampledBandCollisionProbability(s, 5, 10, 20);
+    const double q_large =
+        SampledBandCollisionProbability(s, 5, 10, 400);
+    EXPECT_LT(std::abs(q_large - p), std::abs(q_small - p) + 1e-9);
+    EXPECT_NEAR(q_large, p, 0.08);
+  }
+}
+
+TEST(SampledBandCollisionProbabilityTest, LargeKIsNumericallyStable) {
+  // k = 500 exercises the log-space binomial path.
+  const double q = SampledBandCollisionProbability(0.5, 10, 20, 500);
+  EXPECT_GE(q, 0.0);
+  EXPECT_LE(q, 1.0);
+  EXPECT_NEAR(q, BandCollisionProbability(0.5, 10, 20), 0.05);
+}
+
+}  // namespace
+}  // namespace sans

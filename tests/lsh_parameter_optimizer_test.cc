@@ -1,0 +1,123 @@
+#include "lsh/parameter_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "lsh/filter_functions.h"
+
+namespace sans {
+namespace {
+
+/// A bimodal distribution like Fig. 3: heavy mass at low similarity,
+/// a small spike of truly-similar pairs.
+SimilarityDistribution Bimodal() {
+  SimilarityDistribution d;
+  d.similarity = {0.05, 0.15, 0.25, 0.85, 0.95};
+  d.count = {1e6, 1e5, 1e4, 50.0, 30.0};
+  return d;
+}
+
+TEST(SimilarityDistributionTest, Validation) {
+  EXPECT_TRUE(Bimodal().Validate().ok());
+  SimilarityDistribution bad = Bimodal();
+  bad.count.pop_back();
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = Bimodal();
+  bad.similarity[0] = 1.5;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = Bimodal();
+  bad.similarity = {0.5, 0.3, 0.7, 0.8, 0.9};
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = Bimodal();
+  bad.count[0] = -1.0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(SimilarityDistributionTest, CountsSplitAtThreshold) {
+  const SimilarityDistribution d = Bimodal();
+  EXPECT_DOUBLE_EQ(d.CountAtOrAbove(0.5), 80.0);
+  EXPECT_DOUBLE_EQ(d.CountBelow(0.5), 1e6 + 1e5 + 1e4);
+  EXPECT_DOUBLE_EQ(d.CountAtOrAbove(0.0),
+                   d.CountBelow(2.0));  // everything
+}
+
+TEST(ExpectedErrorsTest, MatchFilterFunction) {
+  const SimilarityDistribution d = Bimodal();
+  const int r = 5;
+  const int l = 10;
+  double fn = 0.0;
+  double fp = 0.0;
+  for (size_t i = 0; i < d.similarity.size(); ++i) {
+    const double p = BandCollisionProbability(d.similarity[i], r, l);
+    if (d.similarity[i] >= 0.5) {
+      fn += d.count[i] * (1.0 - p);
+    } else {
+      fp += d.count[i] * p;
+    }
+  }
+  EXPECT_NEAR(ExpectedFalseNegatives(d, 0.5, r, l), fn, 1e-9);
+  EXPECT_NEAR(ExpectedFalsePositives(d, 0.5, r, l), fp, 1e-9);
+}
+
+TEST(ExpectedErrorsTest, MonotoneInL) {
+  const SimilarityDistribution d = Bimodal();
+  EXPECT_GT(ExpectedFalseNegatives(d, 0.5, 5, 2),
+            ExpectedFalseNegatives(d, 0.5, 5, 20));
+  EXPECT_LT(ExpectedFalsePositives(d, 0.5, 5, 2),
+            ExpectedFalsePositives(d, 0.5, 5, 20));
+}
+
+TEST(OptimizeLshParametersTest, FindsFeasibleMinimalCost) {
+  LshOptimizerOptions options;
+  options.s0 = 0.5;
+  options.max_false_negatives = 5.0;
+  options.max_false_positives = 2000.0;
+  const LshParameters best = OptimizeLshParameters(Bimodal(), options);
+  ASSERT_TRUE(best.feasible);
+  EXPECT_LE(best.expected_false_negatives, options.max_false_negatives);
+  EXPECT_LE(best.expected_false_positives, options.max_false_positives);
+  // Paper: "In most experiments, the optimal value of r was between 5
+  // and 20" — sanity-check the ballpark.
+  EXPECT_GE(best.r, 2);
+  EXPECT_LE(best.r, 25);
+
+  // No cheaper feasible parameter exists in a local neighbourhood.
+  for (int r = 1; r <= best.r; ++r) {
+    for (int l = 1; static_cast<int64_t>(l) * r < best.cost(); ++l) {
+      const bool feasible =
+          ExpectedFalseNegatives(Bimodal(), 0.5, r, l) <=
+              options.max_false_negatives &&
+          ExpectedFalsePositives(Bimodal(), 0.5, r, l) <=
+              options.max_false_positives;
+      EXPECT_FALSE(feasible) << "cheaper feasible (r=" << r
+                             << ", l=" << l << ") missed";
+    }
+  }
+}
+
+TEST(OptimizeLshParametersTest, InfeasibleConstraintsReported) {
+  LshOptimizerOptions options;
+  options.s0 = 0.5;
+  options.max_false_negatives = 0.0001;  // essentially zero FNs
+  options.max_false_positives = 0.0001;  // and zero FPs: impossible
+  options.max_r = 10;
+  options.max_l = 64;
+  const LshParameters best = OptimizeLshParameters(Bimodal(), options);
+  EXPECT_FALSE(best.feasible);
+}
+
+TEST(OptimizeLshParametersTest, LooseConstraintsAreCheap) {
+  LshOptimizerOptions loose;
+  loose.s0 = 0.5;
+  loose.max_false_negatives = 70.0;   // nearly all 80 true pairs may drop
+  loose.max_false_positives = 1e9;
+  const LshParameters cheap = OptimizeLshParameters(Bimodal(), loose);
+  LshOptimizerOptions tight = loose;
+  tight.max_false_negatives = 1.0;
+  const LshParameters costly = OptimizeLshParameters(Bimodal(), tight);
+  ASSERT_TRUE(cheap.feasible);
+  ASSERT_TRUE(costly.feasible);
+  EXPECT_LE(cheap.cost(), costly.cost());
+}
+
+}  // namespace
+}  // namespace sans

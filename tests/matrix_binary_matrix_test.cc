@@ -1,0 +1,153 @@
+#include "matrix/binary_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sans {
+namespace {
+
+// The paper's Example 1 matrix:
+//        c1 c2 c3
+//   r1 [  1  1  0 ]
+//   r2 [  1  1  0 ]
+//   r3 [  0  1  1 ]
+//   r4 [  0  0  1 ]
+BinaryMatrix Example1() {
+  auto m = BinaryMatrix::FromRows(4, 3,
+                                  {{0, 1}, {0, 1}, {1, 2}, {2}});
+  EXPECT_TRUE(m.ok());
+  return std::move(m).value();
+}
+
+TEST(BinaryMatrixTest, ShapeAndCounts) {
+  const BinaryMatrix m = Example1();
+  EXPECT_EQ(m.num_rows(), 4u);
+  EXPECT_EQ(m.num_cols(), 3u);
+  EXPECT_EQ(m.num_ones(), 7u);
+  EXPECT_EQ(m.RowSize(0), 2u);
+  EXPECT_EQ(m.RowSize(3), 1u);
+}
+
+TEST(BinaryMatrixTest, RowAccess) {
+  const BinaryMatrix m = Example1();
+  const auto row2 = m.Row(2);
+  ASSERT_EQ(row2.size(), 2u);
+  EXPECT_EQ(row2[0], 1u);
+  EXPECT_EQ(row2[1], 2u);
+}
+
+TEST(BinaryMatrixTest, GetMembership) {
+  const BinaryMatrix m = Example1();
+  EXPECT_TRUE(m.Get(0, 0));
+  EXPECT_TRUE(m.Get(2, 2));
+  EXPECT_FALSE(m.Get(0, 2));
+  EXPECT_FALSE(m.Get(3, 0));
+}
+
+TEST(BinaryMatrixTest, ColumnCardinalityAndDensity) {
+  const BinaryMatrix m = Example1();
+  EXPECT_EQ(m.ColumnCardinality(0), 2u);
+  EXPECT_EQ(m.ColumnCardinality(1), 3u);
+  EXPECT_EQ(m.ColumnCardinality(2), 2u);
+  EXPECT_DOUBLE_EQ(m.ColumnDensity(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.ColumnDensity(1), 0.75);
+}
+
+TEST(BinaryMatrixTest, ColumnMajorView) {
+  BinaryMatrix m = Example1();
+  ASSERT_TRUE(m.has_column_major());
+  const auto c1 = m.Column(1);
+  ASSERT_EQ(c1.size(), 3u);
+  EXPECT_EQ(c1[0], 0u);
+  EXPECT_EQ(c1[1], 1u);
+  EXPECT_EQ(c1[2], 2u);
+}
+
+TEST(BinaryMatrixTest, SimilarityMatchesPaperExample) {
+  // Paper Example 1: S(c1,c2) = 2/3, S(c1,c3) = 0, S(c2,c3) = 1/4.
+  const BinaryMatrix m = Example1();
+  EXPECT_DOUBLE_EQ(m.Similarity(0, 1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.Similarity(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(m.Similarity(1, 2), 0.25);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(m.Similarity(1, 0), m.Similarity(0, 1));
+}
+
+TEST(BinaryMatrixTest, IntersectionSize) {
+  const BinaryMatrix m = Example1();
+  EXPECT_EQ(m.IntersectionSize(0, 1), 2u);
+  EXPECT_EQ(m.IntersectionSize(0, 2), 0u);
+  EXPECT_EQ(m.IntersectionSize(1, 2), 1u);
+}
+
+TEST(BinaryMatrixTest, ConfidenceIsAsymmetric) {
+  const BinaryMatrix m = Example1();
+  // Conf(c1 => c2) = |C1∩C2| / |C1| = 2/2 = 1.
+  EXPECT_DOUBLE_EQ(m.Confidence(0, 1), 1.0);
+  // Conf(c2 => c1) = 2/3.
+  EXPECT_DOUBLE_EQ(m.Confidence(1, 0), 2.0 / 3.0);
+}
+
+TEST(BinaryMatrixTest, EmptyColumnsBehave) {
+  auto m = BinaryMatrix::FromRows(3, 3, {{0}, {0}, {}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->ColumnCardinality(1), 0u);
+  EXPECT_DOUBLE_EQ(m->Similarity(1, 2), 0.0);  // 0/0 treated as 0
+  EXPECT_DOUBLE_EQ(m->Confidence(1, 0), 0.0);
+}
+
+TEST(BinaryMatrixTest, EmptyMatrixIsValid) {
+  BinaryMatrix m(0, 0);
+  EXPECT_EQ(m.num_rows(), 0u);
+  EXPECT_EQ(m.num_cols(), 0u);
+  EXPECT_EQ(m.num_ones(), 0u);
+  m.EnsureColumnMajor();
+  EXPECT_DOUBLE_EQ(m.AveragePairwiseSimilarity(), 0.0);
+}
+
+TEST(BinaryMatrixTest, FromRowsRejectsBadInput) {
+  EXPECT_FALSE(BinaryMatrix::FromRows(2, 3, {{0}}).ok());  // row count
+  EXPECT_FALSE(BinaryMatrix::FromRows(1, 3, {{3}}).ok());  // col range
+  EXPECT_FALSE(
+      BinaryMatrix::FromRows(1, 3, {{1, 1}}).ok());  // duplicate
+  EXPECT_FALSE(
+      BinaryMatrix::FromRows(1, 3, {{2, 1}}).ok());  // unsorted
+}
+
+TEST(BinaryMatrixTest, AveragePairwiseSimilarity) {
+  // Example 1: ordered-pair sum = 3 (diagonal) + 2*(2/3 + 0 + 1/4)
+  // over m² = 9.
+  const BinaryMatrix m = Example1();
+  const double expected = (3.0 + 2.0 * (2.0 / 3.0 + 0.0 + 0.25)) / 9.0;
+  EXPECT_NEAR(m.AveragePairwiseSimilarity(), expected, 1e-12);
+}
+
+TEST(BinaryMatrixTest, CopyAndMoveSemantics) {
+  BinaryMatrix m = Example1();
+  BinaryMatrix copy = m;
+  EXPECT_EQ(copy.num_ones(), m.num_ones());
+  BinaryMatrix moved = std::move(m);
+  EXPECT_EQ(moved.num_ones(), copy.num_ones());
+  EXPECT_DOUBLE_EQ(moved.Similarity(0, 1), 2.0 / 3.0);
+}
+
+
+TEST(BinaryMatrixTest, HammingDistanceAndLemma3) {
+  // Lemma 3: S = (|C_a| + |C_b| - d_H) / (|C_a| + |C_b| + d_H).
+  const BinaryMatrix m = Example1();
+  EXPECT_EQ(m.HammingDistance(0, 1), 1u);  // C0={0,1}, C1={0,1,2}
+  EXPECT_EQ(m.HammingDistance(0, 2), 4u);  // disjoint
+  EXPECT_EQ(m.HammingDistance(0, 0), 0u);
+  for (ColumnId a = 0; a < 3; ++a) {
+    for (ColumnId b = 0; b < 3; ++b) {
+      const double rho = static_cast<double>(m.ColumnCardinality(a)) +
+                         static_cast<double>(m.ColumnCardinality(b));
+      const double dh = static_cast<double>(m.HammingDistance(a, b));
+      EXPECT_NEAR(m.Similarity(a, b), (rho - dh) / (rho + dh), 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sans

@@ -1,0 +1,109 @@
+#include "matrix/matrix_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace sans {
+namespace {
+
+TEST(MatrixBuilderTest, BuildsFromUnorderedEntries) {
+  MatrixBuilder builder(3, 4);
+  ASSERT_TRUE(builder.Set(2, 3).ok());
+  ASSERT_TRUE(builder.Set(0, 1).ok());
+  ASSERT_TRUE(builder.Set(2, 0).ok());
+  ASSERT_TRUE(builder.Set(0, 0).ok());
+  auto m = std::move(builder).Build();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_ones(), 4u);
+  const auto row0 = m->Row(0);
+  ASSERT_EQ(row0.size(), 2u);
+  EXPECT_EQ(row0[0], 0u);
+  EXPECT_EQ(row0[1], 1u);
+  const auto row2 = m->Row(2);
+  ASSERT_EQ(row2.size(), 2u);
+  EXPECT_EQ(row2[0], 0u);
+  EXPECT_EQ(row2[1], 3u);
+  EXPECT_EQ(m->RowSize(1), 0u);
+}
+
+TEST(MatrixBuilderTest, DeduplicatesEntries) {
+  MatrixBuilder builder(2, 2);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(builder.Set(1, 1).ok());
+  }
+  EXPECT_EQ(builder.num_entries(), 5u);
+  auto m = std::move(builder).Build();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_ones(), 1u);
+  EXPECT_EQ(m->ColumnCardinality(1), 1u);
+}
+
+TEST(MatrixBuilderTest, RejectsOutOfRange) {
+  MatrixBuilder builder(2, 2);
+  EXPECT_EQ(builder.Set(2, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(builder.Set(0, 2).code(), StatusCode::kOutOfRange);
+}
+
+TEST(MatrixBuilderTest, SetRowAcceptsUnsortedDuplicates) {
+  MatrixBuilder builder(1, 5);
+  ASSERT_TRUE(builder.SetRow(0, {4, 2, 2, 0}).ok());
+  auto m = std::move(builder).Build();
+  ASSERT_TRUE(m.ok());
+  const auto row = m->Row(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 0u);
+  EXPECT_EQ(row[1], 2u);
+  EXPECT_EQ(row[2], 4u);
+}
+
+TEST(MatrixBuilderTest, ColumnMajorIsPrebuilt) {
+  MatrixBuilder builder(2, 2);
+  ASSERT_TRUE(builder.Set(0, 0).ok());
+  ASSERT_TRUE(builder.Set(1, 0).ok());
+  auto m = std::move(builder).Build();
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->has_column_major());
+  EXPECT_EQ(m->Column(0).size(), 2u);
+  EXPECT_EQ(m->Column(1).size(), 0u);
+}
+
+TEST(MatrixBuilderTest, EmptyBuildSucceeds) {
+  MatrixBuilder builder(4, 3);
+  auto m = std::move(builder).Build();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_ones(), 0u);
+  EXPECT_EQ(m->num_rows(), 4u);
+}
+
+TEST(MatrixBuilderTest, AgreesWithFromRowsOnRandomData) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const RowId n = 1 + static_cast<RowId>(rng.NextBounded(20));
+    const ColumnId m = 1 + static_cast<ColumnId>(rng.NextBounded(15));
+    std::vector<std::vector<ColumnId>> rows(n);
+    MatrixBuilder builder(n, m);
+    for (RowId r = 0; r < n; ++r) {
+      for (ColumnId c = 0; c < m; ++c) {
+        if (rng.NextBernoulli(0.3)) {
+          rows[r].push_back(c);
+          ASSERT_TRUE(builder.Set(r, c).ok());
+        }
+      }
+    }
+    auto built = std::move(builder).Build();
+    auto reference = BinaryMatrix::FromRows(n, m, rows);
+    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE(reference.ok());
+    ASSERT_EQ(built->num_ones(), reference->num_ones());
+    for (RowId r = 0; r < n; ++r) {
+      const auto a = built->Row(r);
+      const auto b = reference->Row(r);
+      ASSERT_EQ(std::vector<ColumnId>(a.begin(), a.end()),
+                std::vector<ColumnId>(b.begin(), b.end()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sans

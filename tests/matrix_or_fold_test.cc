@@ -1,0 +1,128 @@
+#include "matrix/or_fold.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/synthetic_generator.h"
+#include "util/random.h"
+
+namespace sans {
+namespace {
+
+TEST(OrFoldTest, HalvesRowCount) {
+  auto m = BinaryMatrix::FromRows(4, 2, {{0}, {1}, {0, 1}, {}});
+  ASSERT_TRUE(m.ok());
+  Xoshiro256 rng(1);
+  const BinaryMatrix folded = OrFold(*m, &rng);
+  EXPECT_EQ(folded.num_rows(), 2u);
+  EXPECT_EQ(folded.num_cols(), 2u);
+}
+
+TEST(OrFoldTest, OddRowCountKeepsLeftover) {
+  auto m = BinaryMatrix::FromRows(5, 1, {{0}, {0}, {0}, {0}, {0}});
+  ASSERT_TRUE(m.ok());
+  Xoshiro256 rng(2);
+  const BinaryMatrix folded = OrFold(*m, &rng);
+  EXPECT_EQ(folded.num_rows(), 3u);
+  // Column of all-ones stays all-ones.
+  EXPECT_EQ(folded.ColumnCardinality(0), 3u);
+}
+
+TEST(OrFoldTest, PreservesColumnSupportSemantics) {
+  // A column's 1s can only merge, never vanish: cardinality after a
+  // fold is between ceil(card/2) and card.
+  SyntheticConfig config;
+  config.num_rows = 200;
+  config.num_cols = 50;
+  config.bands = {};
+  config.seed = 7;
+  auto dataset = GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok());
+  Xoshiro256 rng(3);
+  const BinaryMatrix folded = OrFold(dataset->matrix, &rng);
+  for (ColumnId c = 0; c < 50; ++c) {
+    const uint64_t before = dataset->matrix.ColumnCardinality(c);
+    const uint64_t after = folded.ColumnCardinality(c);
+    EXPECT_LE(after, before);
+    EXPECT_GE(after, (before + 1) / 2);
+  }
+}
+
+TEST(OrFoldTest, DensityGrowsTowardOne) {
+  SyntheticConfig config;
+  config.num_rows = 512;
+  config.num_cols = 20;
+  config.bands = {};
+  config.min_density = 0.05;
+  config.max_density = 0.10;
+  config.seed = 9;
+  auto dataset = GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok());
+
+  Xoshiro256 rng(4);
+  BinaryMatrix current = dataset->matrix;
+  double prev_density = 0.0;
+  for (int level = 0; level < 5; ++level) {
+    double mean_density = 0.0;
+    for (ColumnId c = 0; c < current.num_cols(); ++c) {
+      mean_density += current.ColumnDensity(c);
+    }
+    mean_density /= current.num_cols();
+    EXPECT_GE(mean_density, prev_density);
+    prev_density = mean_density;
+    current = OrFold(current, &rng);
+  }
+  EXPECT_GT(prev_density, 0.3);  // five folds of ~7% density
+}
+
+TEST(BuildOrFoldPyramidTest, StopsAtMinRows) {
+  auto m = BinaryMatrix::FromRows(64, 1,
+                                  std::vector<std::vector<ColumnId>>(
+                                      64, std::vector<ColumnId>{0}));
+  ASSERT_TRUE(m.ok());
+  Xoshiro256 rng(5);
+  const auto pyramid = BuildOrFoldPyramid(*m, 100, 8, &rng);
+  // 64 -> 32 -> 16 -> 8 (stop: not > 8).
+  ASSERT_EQ(pyramid.size(), 4u);
+  EXPECT_EQ(pyramid[0].num_rows(), 64u);
+  EXPECT_EQ(pyramid[3].num_rows(), 8u);
+}
+
+TEST(BuildOrFoldPyramidTest, RespectsMaxLevels) {
+  auto m = BinaryMatrix::FromRows(64, 1,
+                                  std::vector<std::vector<ColumnId>>(
+                                      64, std::vector<ColumnId>{0}));
+  ASSERT_TRUE(m.ok());
+  Xoshiro256 rng(6);
+  const auto pyramid = BuildOrFoldPyramid(*m, 2, 1, &rng);
+  ASSERT_EQ(pyramid.size(), 2u);
+  EXPECT_EQ(pyramid[1].num_rows(), 32u);
+}
+
+TEST(BuildOrFoldPyramidTest, LevelZeroIsInput) {
+  auto m = BinaryMatrix::FromRows(4, 2, {{0}, {1}, {0, 1}, {}});
+  ASSERT_TRUE(m.ok());
+  Xoshiro256 rng(7);
+  const auto pyramid = BuildOrFoldPyramid(*m, 3, 1, &rng);
+  EXPECT_EQ(pyramid[0].num_ones(), m->num_ones());
+}
+
+TEST(OrFoldTest, UnionOfOnesIsInvariant) {
+  // Every 1 in the fold stems from a 1 in the source: total ones can
+  // only shrink (merges) and rows partition the source rows.
+  auto m = BinaryMatrix::FromRows(6, 3,
+                                  {{0, 1}, {1}, {2}, {0}, {1, 2}, {0, 2}});
+  ASSERT_TRUE(m.ok());
+  Xoshiro256 rng(8);
+  const BinaryMatrix folded = OrFold(*m, &rng);
+  EXPECT_LE(folded.num_ones(), m->num_ones());
+  uint64_t total_rows_ones = 0;
+  for (RowId r = 0; r < folded.num_rows(); ++r) {
+    total_rows_ones += folded.RowSize(r);
+  }
+  EXPECT_EQ(total_rows_ones, folded.num_ones());
+}
+
+}  // namespace
+}  // namespace sans

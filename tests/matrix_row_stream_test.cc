@@ -1,0 +1,96 @@
+#include "matrix/row_stream.h"
+
+#include <gtest/gtest.h>
+
+namespace sans {
+namespace {
+
+BinaryMatrix SmallMatrix() {
+  auto m = BinaryMatrix::FromRows(3, 4, {{0, 2}, {}, {1, 2, 3}});
+  EXPECT_TRUE(m.ok());
+  return std::move(m).value();
+}
+
+TEST(InMemoryRowStreamTest, YieldsAllRowsInOrder) {
+  const BinaryMatrix m = SmallMatrix();
+  InMemoryRowStream stream(&m);
+  EXPECT_EQ(stream.num_rows(), 3u);
+  EXPECT_EQ(stream.num_cols(), 4u);
+
+  RowView view;
+  ASSERT_TRUE(stream.Next(&view));
+  EXPECT_EQ(view.row, 0u);
+  ASSERT_EQ(view.columns.size(), 2u);
+  EXPECT_EQ(view.columns[0], 0u);
+  EXPECT_EQ(view.columns[1], 2u);
+
+  ASSERT_TRUE(stream.Next(&view));
+  EXPECT_EQ(view.row, 1u);
+  EXPECT_TRUE(view.columns.empty());
+
+  ASSERT_TRUE(stream.Next(&view));
+  EXPECT_EQ(view.row, 2u);
+  EXPECT_EQ(view.columns.size(), 3u);
+
+  EXPECT_FALSE(stream.Next(&view));
+  EXPECT_FALSE(stream.Next(&view));  // stays exhausted
+}
+
+TEST(InMemoryRowStreamTest, ResetRewinds) {
+  const BinaryMatrix m = SmallMatrix();
+  InMemoryRowStream stream(&m);
+  RowView view;
+  while (stream.Next(&view)) {
+  }
+  ASSERT_TRUE(stream.Reset().ok());
+  int rows = 0;
+  while (stream.Next(&view)) ++rows;
+  EXPECT_EQ(rows, 3);
+}
+
+TEST(InMemorySourceTest, OpensIndependentStreams) {
+  const BinaryMatrix m = SmallMatrix();
+  InMemorySource source(&m);
+  EXPECT_EQ(source.num_rows(), 3u);
+  EXPECT_EQ(source.num_cols(), 4u);
+
+  auto s1 = source.Open();
+  auto s2 = source.Open();
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  RowView v1;
+  RowView v2;
+  ASSERT_TRUE(s1.value()->Next(&v1));
+  // Advancing s1 must not advance s2.
+  ASSERT_TRUE(s2.value()->Next(&v2));
+  EXPECT_EQ(v2.row, 0u);
+}
+
+TEST(MaterializeStreamTest, RoundTripsMatrix) {
+  const BinaryMatrix m = SmallMatrix();
+  InMemoryRowStream stream(&m);
+  auto copy = MaterializeStream(&stream);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->num_rows(), m.num_rows());
+  EXPECT_EQ(copy->num_cols(), m.num_cols());
+  EXPECT_EQ(copy->num_ones(), m.num_ones());
+  for (RowId r = 0; r < m.num_rows(); ++r) {
+    const auto a = m.Row(r);
+    const auto b = copy->Row(r);
+    ASSERT_EQ(std::vector<ColumnId>(a.begin(), a.end()),
+              std::vector<ColumnId>(b.begin(), b.end()));
+  }
+}
+
+TEST(MaterializeStreamTest, WorksOnPartiallyConsumedStream) {
+  const BinaryMatrix m = SmallMatrix();
+  InMemoryRowStream stream(&m);
+  RowView view;
+  ASSERT_TRUE(stream.Next(&view));  // consume one row first
+  auto copy = MaterializeStream(&stream);  // resets internally
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->num_ones(), m.num_ones());
+}
+
+}  // namespace
+}  // namespace sans

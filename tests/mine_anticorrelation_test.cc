@@ -1,0 +1,150 @@
+#include "mine/anticorrelation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/synthetic_generator.h"
+
+namespace sans {
+namespace {
+
+/// 100 rows; columns 0 and 1 perfectly exclusive at 50% support each;
+/// column 2 independent-ish of both; column 3 rare (fails support).
+BinaryMatrix ExclusiveMatrix() {
+  std::vector<std::vector<ColumnId>> rows(100);
+  for (RowId r = 0; r < 100; ++r) {
+    if (r < 50) {
+      rows[r].push_back(0);
+    } else {
+      rows[r].push_back(1);
+    }
+    if (r % 2 == 0) rows[r].push_back(2);
+    if (r < 3) rows[r].push_back(3);
+  }
+  for (auto& row : rows) std::sort(row.begin(), row.end());
+  auto m = BinaryMatrix::FromRows(100, 4, rows);
+  EXPECT_TRUE(m.ok());
+  return std::move(m).value();
+}
+
+TEST(AnticorrelationConfigTest, Validation) {
+  AnticorrelationConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.min_support = 0.0;  // the Section 7 support floor is mandatory
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.max_lift = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.min_expected_intersection = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(MineAnticorrelatedTest, FindsPerfectExclusion) {
+  const BinaryMatrix m = ExclusiveMatrix();
+  AnticorrelationConfig config;
+  config.min_support = 0.2;
+  config.max_lift = 0.2;
+  config.min_expected_intersection = 5.0;
+  auto result = MineAnticorrelated(m, config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].pair, ColumnPair(0, 1));
+  EXPECT_EQ((*result)[0].intersection, 0u);
+  EXPECT_DOUBLE_EQ((*result)[0].expected_intersection, 25.0);
+  EXPECT_DOUBLE_EQ((*result)[0].lift, 0.0);
+}
+
+TEST(MineAnticorrelatedTest, IndependentColumnsNotReported) {
+  const BinaryMatrix m = ExclusiveMatrix();
+  // Column 2 co-occurs with 0 and 1 at ~independence (lift ≈ 1).
+  AnticorrelationConfig config;
+  config.min_support = 0.2;
+  config.max_lift = 0.5;
+  auto result = MineAnticorrelated(m, config);
+  ASSERT_TRUE(result.ok());
+  for (const AnticorrelatedPair& p : *result) {
+    EXPECT_NE(p.pair, ColumnPair(0, 2));
+    EXPECT_NE(p.pair, ColumnPair(1, 2));
+  }
+}
+
+TEST(MineAnticorrelatedTest, SupportFloorExcludesSparseColumns) {
+  // Column 3 (3% support) is trivially exclusive with almost
+  // everything — exactly the spurious discovery the Section 7 support
+  // requirement exists to prevent.
+  const BinaryMatrix m = ExclusiveMatrix();
+  AnticorrelationConfig config;
+  config.min_support = 0.2;
+  config.max_lift = 0.9;
+  config.min_expected_intersection = 0.0;
+  auto result = MineAnticorrelated(m, config);
+  ASSERT_TRUE(result.ok());
+  for (const AnticorrelatedPair& p : *result) {
+    EXPECT_NE(p.pair.first, 3u);
+    EXPECT_NE(p.pair.second, 3u);
+  }
+}
+
+TEST(MineAnticorrelatedTest, MinExpectedIntersectionGuards) {
+  const BinaryMatrix m = ExclusiveMatrix();
+  AnticorrelationConfig config;
+  config.min_support = 0.2;
+  config.max_lift = 0.2;
+  config.min_expected_intersection = 100.0;  // nothing qualifies
+  auto result = MineAnticorrelated(m, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(MineAnticorrelatedTest, SortedByAscendingLift) {
+  // Columns 0/1 exclusive; columns 0/2 mildly anti-correlated.
+  std::vector<std::vector<ColumnId>> rows(100);
+  for (RowId r = 0; r < 100; ++r) {
+    if (r < 50) rows[r].push_back(0);
+    if (r >= 50) rows[r].push_back(1);
+    if (r >= 40 && r < 90) rows[r].push_back(2);  // overlap 10 with col 0
+  }
+  auto m = BinaryMatrix::FromRows(100, 3, rows);
+  ASSERT_TRUE(m.ok());
+  AnticorrelationConfig config;
+  config.min_support = 0.2;
+  config.max_lift = 0.5;
+  auto result = MineAnticorrelated(*m, config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->size(), 2u);
+  for (size_t i = 1; i < result->size(); ++i) {
+    EXPECT_LE((*result)[i - 1].lift, (*result)[i].lift);
+  }
+  EXPECT_EQ((*result)[0].pair, ColumnPair(0, 1));
+}
+
+TEST(MineAnticorrelatedTest, RandomDataHasNoStrongExclusions) {
+  SyntheticConfig data;
+  data.num_rows = 2000;
+  data.num_cols = 40;
+  data.bands = {};
+  data.min_density = 0.2;
+  data.max_density = 0.4;
+  data.seed = 51;
+  auto dataset = GenerateSynthetic(data);
+  ASSERT_TRUE(dataset.ok());
+  AnticorrelationConfig config;
+  config.min_support = 0.1;
+  config.max_lift = 0.3;  // independent columns live near lift 1
+  auto result = MineAnticorrelated(dataset->matrix, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(MineAnticorrelatedTest, EmptyMatrixIsFine) {
+  BinaryMatrix empty(0, 5);
+  AnticorrelationConfig config;
+  auto result = MineAnticorrelated(empty, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+}  // namespace
+}  // namespace sans

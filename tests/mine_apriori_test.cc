@@ -1,0 +1,294 @@
+#include "mine/apriori.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_generator.h"
+#include "mine/brute_force.h"
+
+namespace sans {
+namespace {
+
+// Classic market-basket toy:
+// rows (baskets): {0,1,2}, {0,1}, {0,2}, {1,2}, {0,1,2}, {3}
+BinaryMatrix Baskets() {
+  auto m = BinaryMatrix::FromRows(
+      6, 4, {{0, 1, 2}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}, {3}});
+  EXPECT_TRUE(m.ok());
+  return std::move(m).value();
+}
+
+TEST(AprioriConfigTest, Validation) {
+  AprioriConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.min_support = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.min_support = 0.5;
+  config.max_itemset_size = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(AprioriTest, LevelOneMatchesColumnSupports) {
+  AprioriConfig config;
+  config.min_support = 0.5;  // >= 3 of 6 rows
+  config.max_itemset_size = 1;
+  Apriori apriori(config);
+  auto levels = apriori.MineFrequentItemsets(Baskets());
+  ASSERT_TRUE(levels.ok());
+  ASSERT_EQ(levels->size(), 1u);
+  // Supports: item0 = 4, item1 = 4, item2 = 4, item3 = 1.
+  ASSERT_EQ((*levels)[0].size(), 3u);
+  EXPECT_EQ((*levels)[0][0].items, (std::vector<ColumnId>{0}));
+  EXPECT_EQ((*levels)[0][0].support_count, 4u);
+  EXPECT_EQ((*levels)[0][2].items, (std::vector<ColumnId>{2}));
+}
+
+TEST(AprioriTest, LevelTwoCountsPairs) {
+  AprioriConfig config;
+  config.min_support = 0.5;  // pairs need >= 3 rows
+  config.max_itemset_size = 2;
+  Apriori apriori(config);
+  auto levels = apriori.MineFrequentItemsets(Baskets());
+  ASSERT_TRUE(levels.ok());
+  ASSERT_EQ(levels->size(), 2u);
+  // Pair supports: (0,1) = 3, (0,2) = 3, (1,2) = 3.
+  ASSERT_EQ((*levels)[1].size(), 3u);
+  for (const Itemset& s : (*levels)[1]) {
+    EXPECT_EQ(s.support_count, 3u);
+    EXPECT_EQ(s.items.size(), 2u);
+  }
+}
+
+TEST(AprioriTest, LevelThreeUsesJoinAndPrune) {
+  AprioriConfig config;
+  config.min_support = 1.0 / 3.0;  // >= 2 rows
+  config.max_itemset_size = 3;
+  Apriori apriori(config);
+  auto levels = apriori.MineFrequentItemsets(Baskets());
+  ASSERT_TRUE(levels.ok());
+  ASSERT_EQ(levels->size(), 3u);
+  // {0,1,2} appears in rows 0 and 4: support 2 -> frequent.
+  ASSERT_EQ((*levels)[2].size(), 1u);
+  EXPECT_EQ((*levels)[2][0].items, (std::vector<ColumnId>{0, 1, 2}));
+  EXPECT_EQ((*levels)[2][0].support_count, 2u);
+}
+
+TEST(AprioriTest, MonotonicityHolds) {
+  // Every subset of a frequent itemset is frequent (the a-priori
+  // property the paper's pruning exploits).
+  SyntheticConfig data;
+  data.num_rows = 400;
+  data.num_cols = 30;
+  data.bands = {{2, 70.0, 90.0}};
+  data.spread_pairs = false;
+  data.min_density = 0.1;
+  data.max_density = 0.3;
+  data.seed = 21;
+  auto dataset = GenerateSynthetic(data);
+  ASSERT_TRUE(dataset.ok());
+
+  AprioriConfig config;
+  config.min_support = 0.05;
+  config.max_itemset_size = 3;
+  Apriori apriori(config);
+  auto levels = apriori.MineFrequentItemsets(dataset->matrix);
+  ASSERT_TRUE(levels.ok());
+  for (size_t k = 1; k < levels->size(); ++k) {
+    for (const Itemset& s : (*levels)[k]) {
+      // Each (k-1)-subset must appear in the previous level.
+      for (size_t skip = 0; skip < s.items.size(); ++skip) {
+        std::vector<ColumnId> subset;
+        for (size_t i = 0; i < s.items.size(); ++i) {
+          if (i != skip) subset.push_back(s.items[i]);
+        }
+        bool found = false;
+        for (const Itemset& prev : (*levels)[k - 1]) {
+          if (prev.items == subset) {
+            found = true;
+            EXPECT_GE(prev.support_count, s.support_count);
+            break;
+          }
+        }
+        EXPECT_TRUE(found);
+      }
+    }
+  }
+}
+
+TEST(AprioriTest, MemoryCapAborts) {
+  SyntheticConfig data;
+  data.num_rows = 200;
+  data.num_cols = 50;
+  data.bands = {};
+  data.min_density = 0.2;
+  data.max_density = 0.4;
+  data.seed = 33;
+  auto dataset = GenerateSynthetic(data);
+  ASSERT_TRUE(dataset.ok());
+
+  AprioriConfig config;
+  config.min_support = 0.005;  // everything is frequent
+  config.max_itemset_size = 2;
+  config.max_candidates_per_level = 10;  // absurdly small cap
+  Apriori apriori(config);
+  auto levels = apriori.MineFrequentItemsets(dataset->matrix);
+  EXPECT_FALSE(levels.ok());
+}
+
+TEST(AprioriSimilarPairsTest, MatchesBruteForceAboveSupport) {
+  SyntheticConfig data;
+  data.num_rows = 500;
+  data.num_cols = 60;
+  data.bands = {{3, 75.0, 90.0}};
+  data.spread_pairs = false;
+  data.min_density = 0.05;
+  data.max_density = 0.15;
+  data.seed = 44;
+  auto dataset = GenerateSynthetic(data);
+  ASSERT_TRUE(dataset.ok());
+
+  // At a support threshold below every column's density, a-priori
+  // prunes nothing and must agree exactly with brute force.
+  auto report = AprioriSimilarPairs(dataset->matrix, 0.01, 0.6);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->num_frequent_columns, 60u);
+  auto truth = BruteForceSimilarPairs(dataset->matrix, 0.6);
+  ASSERT_TRUE(truth.ok());
+  ASSERT_EQ(report->pairs.size(), truth->size());
+  for (size_t i = 0; i < truth->size(); ++i) {
+    EXPECT_EQ(report->pairs[i].pair, (*truth)[i].pair);
+    EXPECT_DOUBLE_EQ(report->pairs[i].similarity,
+                     (*truth)[i].similarity);
+  }
+}
+
+TEST(AprioriSimilarPairsTest, SupportPruningLosesLowSupportPairs) {
+  // The paper's core criticism: raise the support threshold above a
+  // similar pair's density and a-priori cannot see it.
+  std::vector<std::vector<ColumnId>> rows(100);
+  // Columns 0,1: a perfect pair in rows 0-2 only (support 3%).
+  for (RowId r = 0; r < 3; ++r) rows[r] = {0, 1};
+  // Column 2: frequent everywhere.
+  for (RowId r = 0; r < 100; ++r) rows[r].push_back(2);
+  auto m = BinaryMatrix::FromRows(100, 3, rows);
+  ASSERT_TRUE(m.ok());
+
+  auto pruned = AprioriSimilarPairs(*m, 0.10, 0.9);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->num_frequent_columns, 1u);  // only column 2
+  EXPECT_TRUE(pruned->pairs.empty());
+
+  auto unpruned = AprioriSimilarPairs(*m, 0.01, 0.9);
+  ASSERT_TRUE(unpruned.ok());
+  ASSERT_EQ(unpruned->pairs.size(), 1u);
+  EXPECT_EQ(unpruned->pairs[0].pair, ColumnPair(0, 1));
+}
+
+TEST(AprioriConfidenceRulesTest, DirectionalRules) {
+  const BinaryMatrix m = Baskets();
+  // Pair (0,1) support 3; conf(0=>1) = 3/4, conf(1=>0) = 3/4.
+  auto rules = AprioriConfidenceRules(m, 0.5, 0.7);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->size(), 6u);  // all three pairs, both directions
+  for (const ConfidenceRule& rule : *rules) {
+    EXPECT_DOUBLE_EQ(rule.confidence, 0.75);
+  }
+  auto strict = AprioriConfidenceRules(m, 0.5, 0.8);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_TRUE(strict->empty());
+}
+
+
+TEST(AprioriAssociationRulesTest, GeneratesAllSubsetsAsAntecedents) {
+  const BinaryMatrix m = Baskets();
+  AprioriConfig config;
+  config.min_support = 1.0 / 3.0;  // {0,1,2} frequent with support 2
+  config.max_itemset_size = 3;
+  auto rules = AprioriAssociationRules(m, config, 0.4);
+  ASSERT_TRUE(rules.ok());
+  // From the triple {0,1,2} (support 2): 6 rules (3 single + 3 pair
+  // antecedents); from each pair (support 3): 2 rules. Confidences:
+  //   {a}=>...: 3/4 for pairs, 2/4 for the triple;
+  //   {a,b}=>{c}: 2/3.
+  int from_triple = 0;
+  for (const AssociationRule& r : *rules) {
+    ASSERT_FALSE(r.antecedent.empty());
+    ASSERT_FALSE(r.consequent.empty());
+    if (r.antecedent.size() + r.consequent.size() == 3) {
+      ++from_triple;
+      if (r.antecedent.size() == 1) {
+        EXPECT_DOUBLE_EQ(r.confidence, 0.5);
+      } else {
+        EXPECT_DOUBLE_EQ(r.confidence, 2.0 / 3.0);
+      }
+      EXPECT_EQ(r.support_count, 2u);
+    }
+  }
+  EXPECT_EQ(from_triple, 6);
+}
+
+TEST(AprioriAssociationRulesTest, ConfidenceThresholdFilters) {
+  const BinaryMatrix m = Baskets();
+  AprioriConfig config;
+  config.min_support = 1.0 / 3.0;
+  config.max_itemset_size = 3;
+  auto strict = AprioriAssociationRules(m, config, 0.7);
+  ASSERT_TRUE(strict.ok());
+  for (const AssociationRule& r : *strict) {
+    EXPECT_GE(r.confidence, 0.7);
+  }
+  auto loose = AprioriAssociationRules(m, config, 0.1);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_GT(loose->size(), strict->size());
+}
+
+TEST(AprioriAssociationRulesTest, SortedByConfidenceThenSupport) {
+  const BinaryMatrix m = Baskets();
+  AprioriConfig config;
+  config.min_support = 1.0 / 3.0;
+  config.max_itemset_size = 3;
+  auto rules = AprioriAssociationRules(m, config, 0.1);
+  ASSERT_TRUE(rules.ok());
+  for (size_t i = 1; i < rules->size(); ++i) {
+    const auto& a = (*rules)[i - 1];
+    const auto& b = (*rules)[i];
+    EXPECT_TRUE(a.confidence > b.confidence ||
+                (a.confidence == b.confidence &&
+                 a.support_count >= b.support_count));
+  }
+}
+
+TEST(AprioriAssociationRulesTest, PairRulesMatchConfidenceRules) {
+  const BinaryMatrix m = Baskets();
+  AprioriConfig config;
+  config.min_support = 0.5;
+  config.max_itemset_size = 2;
+  auto general = AprioriAssociationRules(m, config, 0.7);
+  auto pairs = AprioriConfidenceRules(m, 0.5, 0.7);
+  ASSERT_TRUE(general.ok());
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(general->size(), pairs->size());
+  for (const AssociationRule& r : *general) {
+    ASSERT_EQ(r.antecedent.size(), 1u);
+    ASSERT_EQ(r.consequent.size(), 1u);
+    bool found = false;
+    for (const ConfidenceRule& c : *pairs) {
+      if (c.antecedent == r.antecedent[0] &&
+          c.consequent == r.consequent[0]) {
+        EXPECT_DOUBLE_EQ(c.confidence, r.confidence);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(AprioriAssociationRulesTest, RejectsBadConfidence) {
+  const BinaryMatrix m = Baskets();
+  AprioriConfig config;
+  EXPECT_FALSE(AprioriAssociationRules(m, config, 0.0).ok());
+  EXPECT_FALSE(AprioriAssociationRules(m, config, 1.5).ok());
+}
+
+}  // namespace
+}  // namespace sans

@@ -1,0 +1,147 @@
+#include "mine/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/synthetic_generator.h"
+#include "matrix/row_stream.h"
+
+namespace sans {
+namespace {
+
+BinaryMatrix PaperExample() {
+  auto m = BinaryMatrix::FromRows(4, 3, {{0, 1}, {0, 1}, {1, 2}, {2}});
+  EXPECT_TRUE(m.ok());
+  return std::move(m).value();
+}
+
+TEST(ExactIntersectionCountsTest, CountsCoOccurrences) {
+  const BinaryMatrix m = PaperExample();
+  InMemoryRowStream stream(&m);
+  auto counts = ExactIntersectionCounts(&stream);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->size(), 2u);  // (0,1) and (1,2); (0,2) never co-occur
+  EXPECT_EQ(counts->at(ColumnPair(0, 1)), 2u);
+  EXPECT_EQ(counts->at(ColumnPair(1, 2)), 1u);
+  EXPECT_EQ(counts->count(ColumnPair(0, 2)), 0u);
+}
+
+TEST(BruteForceSimilarPairsTest, ThresholdFiltersAndSorts) {
+  const BinaryMatrix m = PaperExample();
+  auto pairs = BruteForceSimilarPairs(m, 0.2);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 2u);
+  EXPECT_EQ((*pairs)[0].pair, ColumnPair(0, 1));
+  EXPECT_DOUBLE_EQ((*pairs)[0].similarity, 2.0 / 3.0);
+  EXPECT_EQ((*pairs)[1].pair, ColumnPair(1, 2));
+
+  auto strict = BruteForceSimilarPairs(m, 0.7);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_TRUE(strict->empty());
+}
+
+TEST(BruteForceSimilarPairsTest, RejectsNonPositiveThreshold) {
+  const BinaryMatrix m = PaperExample();
+  EXPECT_FALSE(BruteForceSimilarPairs(m, 0.0).ok());
+  EXPECT_FALSE(BruteForceSimilarPairs(m, 1.5).ok());
+}
+
+TEST(BruteForceAllNonzeroPairsTest, MatchesColumnIntersection) {
+  SyntheticConfig config;
+  config.num_rows = 300;
+  config.num_cols = 40;
+  config.bands = {{2, 60.0, 80.0}};
+  config.spread_pairs = false;
+  config.seed = 3;
+  auto dataset = GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok());
+  auto pairs = BruteForceAllNonzeroPairs(dataset->matrix);
+  ASSERT_TRUE(pairs.ok());
+
+  // Every reported pair matches the column-major exact similarity.
+  for (const SimilarPair& p : *pairs) {
+    EXPECT_DOUBLE_EQ(
+        p.similarity,
+        dataset->matrix.Similarity(p.pair.first, p.pair.second));
+    EXPECT_GT(p.similarity, 0.0);
+  }
+  // Every nonzero pair is reported: count them the O(m²) way.
+  uint64_t expected = 0;
+  for (ColumnId i = 0; i < 40; ++i) {
+    for (ColumnId j = i + 1; j < 40; ++j) {
+      if (dataset->matrix.Similarity(i, j) > 0.0) ++expected;
+    }
+  }
+  EXPECT_EQ(pairs->size(), expected);
+}
+
+TEST(BruteForceSimilarPairsTest, FindsAllPlantedPairs) {
+  SyntheticConfig config;
+  config.num_rows = 1000;
+  config.num_cols = 100;
+  config.bands = {{3, 80.0, 90.0}};
+  config.spread_pairs = false;
+  config.seed = 12;
+  auto dataset = GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok());
+  auto pairs = BruteForceSimilarPairs(dataset->matrix, 0.7);
+  ASSERT_TRUE(pairs.ok());
+  for (const PlantedPair& planted : dataset->planted) {
+    bool found = false;
+    for (const SimilarPair& p : *pairs) {
+      if (p.pair == planted.pair) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "planted pair (" << planted.pair.first << ", "
+                       << planted.pair.second << ") missing";
+  }
+}
+
+TEST(BruteForceTest, EmptyMatrixYieldsNothing) {
+  BinaryMatrix empty(10, 5);
+  auto pairs = BruteForceSimilarPairs(empty, 0.5);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+}
+
+
+TEST(TopKSimilarPairsTest, ReturnsKMostSimilar) {
+  const BinaryMatrix m = PaperExample();
+  auto top1 = TopKSimilarPairs(m, 1);
+  ASSERT_TRUE(top1.ok());
+  ASSERT_EQ(top1->size(), 1u);
+  EXPECT_EQ((*top1)[0].pair, ColumnPair(0, 1));
+  EXPECT_DOUBLE_EQ((*top1)[0].similarity, 2.0 / 3.0);
+
+  auto top10 = TopKSimilarPairs(m, 10);
+  ASSERT_TRUE(top10.ok());
+  EXPECT_EQ(top10->size(), 2u);  // only two nonzero pairs exist
+  EXPECT_GE((*top10)[0].similarity, (*top10)[1].similarity);
+}
+
+TEST(TopKSimilarPairsTest, MatchesFullSortOnGeneratedData) {
+  SyntheticConfig config;
+  config.num_rows = 400;
+  config.num_cols = 50;
+  config.bands = {{3, 60.0, 90.0}};
+  config.spread_pairs = false;
+  config.seed = 77;
+  auto dataset = GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok());
+  auto all = BruteForceAllNonzeroPairs(dataset->matrix);
+  ASSERT_TRUE(all.ok());
+  std::sort(all->begin(), all->end(), BySimilarityDesc());
+  auto top = TopKSimilarPairs(dataset->matrix, 7);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 7u);
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ((*top)[i].pair, (*all)[i].pair);
+    EXPECT_DOUBLE_EQ((*top)[i].similarity, (*all)[i].similarity);
+  }
+}
+
+}  // namespace
+}  // namespace sans

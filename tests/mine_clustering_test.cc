@@ -1,0 +1,172 @@
+#include "mine/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <initializer_list>
+#include <utility>
+
+#include "data/news_generator.h"
+#include "matrix/row_stream.h"
+#include "mine/kmh_miner.h"
+
+namespace sans {
+namespace {
+
+std::vector<SimilarPair> Edges(
+    std::initializer_list<std::pair<ColumnPair, double>> list) {
+  std::vector<SimilarPair> pairs;
+  for (const auto& [pair, s] : list) pairs.push_back({pair, s});
+  return pairs;
+}
+
+TEST(ClusteringOptionsTest, Validation) {
+  ClusteringOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.min_similarity = 1.5;
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.min_cluster_size = 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.min_cohesion = -0.1;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(ExtractClustersTest, ConnectedComponents) {
+  const auto pairs = Edges({
+      {ColumnPair(0, 1), 0.9},
+      {ColumnPair(1, 2), 0.8},
+      {ColumnPair(5, 6), 0.7},
+      {ColumnPair(3, 4), 0.3},  // below the floor: ignored
+  });
+  ClusteringOptions options;
+  options.min_similarity = 0.5;
+  auto clusters = ExtractClusters(pairs, 10, options);
+  ASSERT_TRUE(clusters.ok());
+  ASSERT_EQ(clusters->size(), 2u);
+  EXPECT_EQ((*clusters)[0].members, (std::vector<ColumnId>{0, 1, 2}));
+  EXPECT_EQ((*clusters)[1].members, (std::vector<ColumnId>{5, 6}));
+  // Chain 0-1-2 has 2 of 3 possible edges.
+  EXPECT_NEAR((*clusters)[0].cohesion, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR((*clusters)[1].cohesion, 1.0, 1e-12);
+}
+
+TEST(ExtractClustersTest, CohesionPeelsWeakMembers) {
+  // Triangle {0,1,2} plus a pendant 3 attached by one edge: at
+  // min_cohesion 0.9 the pendant must be peeled, leaving the triangle.
+  const auto pairs = Edges({
+      {ColumnPair(0, 1), 0.9},
+      {ColumnPair(1, 2), 0.9},
+      {ColumnPair(0, 2), 0.9},
+      {ColumnPair(2, 3), 0.9},
+  });
+  ClusteringOptions options;
+  options.min_similarity = 0.5;
+  options.min_cohesion = 0.9;
+  auto clusters = ExtractClusters(pairs, 5, options);
+  ASSERT_TRUE(clusters.ok());
+  ASSERT_EQ(clusters->size(), 1u);
+  EXPECT_EQ((*clusters)[0].members, (std::vector<ColumnId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ((*clusters)[0].cohesion, 1.0);
+}
+
+TEST(ExtractClustersTest, MinClusterSizeFilters) {
+  const auto pairs = Edges({
+      {ColumnPair(0, 1), 0.9},
+      {ColumnPair(2, 3), 0.9},
+      {ColumnPair(3, 4), 0.9},
+  });
+  ClusteringOptions options;
+  options.min_cluster_size = 3;
+  auto clusters = ExtractClusters(pairs, 6, options);
+  ASSERT_TRUE(clusters.ok());
+  ASSERT_EQ(clusters->size(), 1u);
+  EXPECT_EQ((*clusters)[0].members.size(), 3u);
+}
+
+TEST(ExtractClustersTest, RejectsOutOfRangeColumns) {
+  const auto pairs = Edges({{ColumnPair(0, 9), 0.9}});
+  ClusteringOptions options;
+  auto clusters = ExtractClusters(pairs, 5, options);
+  EXPECT_FALSE(clusters.ok());
+  EXPECT_EQ(clusters.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ExtractClustersTest, EmptyInputYieldsNoClusters) {
+  ClusteringOptions options;
+  auto clusters = ExtractClusters({}, 10, options);
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_TRUE(clusters->empty());
+}
+
+TEST(ExtractClustersTest, DeterministicOrdering) {
+  const auto pairs = Edges({
+      {ColumnPair(7, 8), 0.9},
+      {ColumnPair(0, 1), 0.9},
+      {ColumnPair(1, 2), 0.9},
+      {ColumnPair(4, 5), 0.9},
+  });
+  ClusteringOptions options;
+  auto clusters = ExtractClusters(pairs, 10, options);
+  ASSERT_TRUE(clusters.ok());
+  ASSERT_EQ(clusters->size(), 3u);
+  // Largest first; ties by first member.
+  EXPECT_EQ((*clusters)[0].members, (std::vector<ColumnId>{0, 1, 2}));
+  EXPECT_EQ((*clusters)[1].members, (std::vector<ColumnId>{4, 5}));
+  EXPECT_EQ((*clusters)[2].members, (std::vector<ColumnId>{7, 8}));
+}
+
+TEST(ExtractClustersTest, RecoversPlantedNewsClusters) {
+  // The Section 2 scenario end-to-end: mine the news corpus, cluster
+  // the similar pairs, and recover the planted topic clusters (the
+  // "chess event").
+  NewsConfig config;
+  config.num_docs = 4000;
+  config.vocab_size = 600;
+  config.num_collocations = 4;
+  config.num_clusters = 2;
+  config.cluster_size = 6;
+  config.cluster_docs = 20;
+  config.cluster_coherence = 0.95;
+  config.seed = 29;
+  auto dataset = GenerateNews(config);
+  ASSERT_TRUE(dataset.ok());
+
+  InMemorySource source(&dataset->matrix);
+  KmhMinerConfig miner_config;
+  miner_config.sketch.k = 150;
+  miner_config.sketch.seed = 31;
+  miner_config.hash_count_slack = 0.3;
+  KmhMiner miner(miner_config);
+  auto report = miner.Mine(source, 0.5);
+  ASSERT_TRUE(report.ok());
+
+  ClusteringOptions options;
+  options.min_similarity = 0.5;
+  options.min_cluster_size = 4;
+  options.min_cohesion = 0.5;
+  auto clusters = ExtractClusters(report->pairs,
+                                  dataset->matrix.num_cols(), options);
+  ASSERT_TRUE(clusters.ok());
+
+  for (const auto& planted : dataset->clusters) {
+    // Some mined cluster must contain most of the planted cluster.
+    size_t best_overlap = 0;
+    for (const SimilarityCluster& mined : *clusters) {
+      size_t overlap = 0;
+      for (ColumnId c : planted) {
+        if (std::find(mined.members.begin(), mined.members.end(), c) !=
+            mined.members.end()) {
+          ++overlap;
+        }
+      }
+      best_overlap = std::max(best_overlap, overlap);
+    }
+    EXPECT_GE(best_overlap, planted.size() - 1)
+        << "planted cluster not recovered";
+  }
+}
+
+}  // namespace
+}  // namespace sans

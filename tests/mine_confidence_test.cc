@@ -1,0 +1,140 @@
+#include "mine/confidence_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "data/news_generator.h"
+#include "matrix/row_stream.h"
+
+namespace sans {
+namespace {
+
+TEST(ConfidenceMinerConfigTest, Validation) {
+  ConfidenceMinerConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.similarity_slack = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.similarity_slack = 0.5;
+  config.ratio_tolerance = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ConfidenceMinerTest, FindsPerfectImplication) {
+  // Column 0 ⊂ column 1: conf(0 => 1) = 1, conf(1 => 0) = 0.3.
+  std::vector<std::vector<ColumnId>> rows(100);
+  for (RowId r = 0; r < 30; ++r) rows[r] = {1};
+  for (RowId r = 0; r < 9; ++r) rows[r] = {0, 1};
+  auto m = BinaryMatrix::FromRows(100, 2, rows);
+  ASSERT_TRUE(m.ok());
+  InMemorySource source(&*m);
+
+  ConfidenceMinerConfig config;
+  config.min_hash.num_hashes = 200;
+  config.min_hash.seed = 3;
+  ConfidenceMiner miner(config);
+  auto report = miner.Mine(source, 0.9);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->rules.size(), 1u);
+  EXPECT_EQ(report->rules[0].antecedent, 0u);
+  EXPECT_EQ(report->rules[0].consequent, 1u);
+  EXPECT_DOUBLE_EQ(report->rules[0].confidence, 1.0);
+}
+
+TEST(ConfidenceMinerTest, OutputHasNoFalsePositives) {
+  NewsConfig news;
+  news.num_docs = 3000;
+  news.vocab_size = 400;
+  news.num_collocations = 8;
+  news.collocation_docs = 15;
+  news.num_clusters = 1;
+  news.seed = 7;
+  auto dataset = GenerateNews(news);
+  ASSERT_TRUE(dataset.ok());
+  InMemorySource source(&dataset->matrix);
+
+  ConfidenceMinerConfig config;
+  config.min_hash.num_hashes = 150;
+  config.min_hash.seed = 5;
+  ConfidenceMiner miner(config);
+  auto report = miner.Mine(source, 0.8);
+  ASSERT_TRUE(report.ok());
+  dataset->matrix.EnsureColumnMajor();
+  for (const ConfidenceRule& rule : report->rules) {
+    EXPECT_GE(dataset->matrix.Confidence(rule.antecedent, rule.consequent),
+              0.8);
+    EXPECT_DOUBLE_EQ(
+        rule.confidence,
+        dataset->matrix.Confidence(rule.antecedent, rule.consequent));
+  }
+}
+
+TEST(ConfidenceMinerTest, FindsLowSupportHighConfidenceCollocations) {
+  // The Beluga-caviar scenario: planted collocations have support
+  // ~0.5% but high directed confidence; the miner must surface most
+  // of them.
+  NewsConfig news;
+  news.num_docs = 4000;
+  news.vocab_size = 500;
+  news.num_collocations = 10;
+  news.collocation_docs = 20;
+  news.collocation_coherence = 1.0;  // perfect co-occurrence
+  news.num_clusters = 0;
+  news.seed = 11;
+  auto dataset = GenerateNews(news);
+  ASSERT_TRUE(dataset.ok());
+  InMemorySource source(&dataset->matrix);
+
+  ConfidenceMinerConfig config;
+  config.min_hash.num_hashes = 200;
+  config.min_hash.seed = 13;
+  ConfidenceMiner miner(config);
+  auto report = miner.Mine(source, 0.95);
+  ASSERT_TRUE(report.ok());
+
+  int found = 0;
+  for (const ColumnPair& planted : dataset->collocations) {
+    for (const ConfidenceRule& rule : report->rules) {
+      if (ColumnPair(rule.antecedent, rule.consequent) == planted) {
+        ++found;
+        break;
+      }
+    }
+  }
+  // With coherence 1.0, each planted pair yields two confidence-1
+  // rules; requiring >= 9 of 10 pairs allows one unlucky signature.
+  EXPECT_GE(found, 9);
+}
+
+TEST(ConfidenceMinerTest, RulesAreSortedByConfidence) {
+  NewsConfig news;
+  news.num_docs = 2000;
+  news.vocab_size = 300;
+  news.num_collocations = 6;
+  news.seed = 17;
+  auto dataset = GenerateNews(news);
+  ASSERT_TRUE(dataset.ok());
+  InMemorySource source(&dataset->matrix);
+
+  ConfidenceMinerConfig config;
+  config.min_hash.num_hashes = 120;
+  ConfidenceMiner miner(config);
+  auto report = miner.Mine(source, 0.7);
+  ASSERT_TRUE(report.ok());
+  for (size_t i = 1; i < report->rules.size(); ++i) {
+    EXPECT_GE(report->rules[i - 1].confidence,
+              report->rules[i].confidence);
+  }
+}
+
+TEST(ConfidenceMinerTest, RejectsInvalidThreshold) {
+  auto m = BinaryMatrix::FromRows(2, 2, {{0, 1}, {0}});
+  ASSERT_TRUE(m.ok());
+  InMemorySource source(&*m);
+  ConfidenceMinerConfig config;
+  config.min_hash.num_hashes = 10;
+  ConfidenceMiner miner(config);
+  EXPECT_FALSE(miner.Mine(source, 0.0).ok());
+  EXPECT_FALSE(miner.Mine(source, 1.1).ok());
+}
+
+}  // namespace
+}  // namespace sans

@@ -1,0 +1,125 @@
+#include "mine/disjunction_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace sans {
+namespace {
+
+/// Column 0 = target covering rows [0, 60); columns 1 and 2 are
+/// complementary halves of the target ([0,30) and [30,60)); column 3
+/// is unrelated.
+BinaryMatrix SplitTargetMatrix() {
+  std::vector<std::vector<ColumnId>> rows(100);
+  for (RowId r = 0; r < 60; ++r) rows[r].push_back(0);
+  for (RowId r = 0; r < 30; ++r) rows[r].push_back(1);
+  for (RowId r = 30; r < 60; ++r) rows[r].push_back(2);
+  for (RowId r = 70; r < 90; ++r) rows[r].push_back(3);
+  auto m = BinaryMatrix::FromRows(100, 4, rows);
+  EXPECT_TRUE(m.ok());
+  return std::move(m).value();
+}
+
+TEST(DisjunctionMinerConfigTest, Validation) {
+  DisjunctionMinerConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.neighbour_floor = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.max_neighbours = 1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.estimate_slack = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ExactOrSimilarityTest, MatchesSetAlgebra) {
+  const BinaryMatrix m = SplitTargetMatrix();
+  // C0 = [0,60); C1 ∪ C2 = [0,60): S = 1.
+  EXPECT_DOUBLE_EQ(ExactOrSimilarity(m, 0, 1, 2), 1.0);
+  // C1 ∪ C3: |inter with C0| = 30, |union| = 60 + 20 = 80.
+  EXPECT_DOUBLE_EQ(ExactOrSimilarity(m, 0, 1, 3), 30.0 / 80.0);
+  // Same disjunct twice degenerates to the pair similarity.
+  EXPECT_DOUBLE_EQ(ExactOrSimilarity(m, 0, 1, 1), m.Similarity(0, 1));
+}
+
+TEST(DisjunctionMinerTest, FindsTheSplitRule) {
+  const BinaryMatrix m = SplitTargetMatrix();
+  DisjunctionMinerConfig config;
+  config.min_hash.num_hashes = 150;
+  config.min_hash.seed = 3;
+  config.neighbour_floor = 0.2;
+  DisjunctionMiner miner(config);
+  auto report = miner.Mine(m, 0.9);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->rules.size(), 1u);
+  const DisjunctionRule& rule = report->rules[0];
+  EXPECT_EQ(rule.target, 0u);
+  EXPECT_EQ(rule.disjunct_a, 1u);
+  EXPECT_EQ(rule.disjunct_b, 2u);
+  EXPECT_DOUBLE_EQ(rule.similarity, 1.0);
+  EXPECT_DOUBLE_EQ(rule.pair_similarity_a, 0.5);
+  EXPECT_DOUBLE_EQ(rule.pair_similarity_b, 0.5);
+}
+
+TEST(DisjunctionMinerTest, RulesMustBeatBothPairRules) {
+  // Target nearly equal to column 1 alone: the disjunction with a
+  // noise column cannot beat the pair rule and must not be reported.
+  std::vector<std::vector<ColumnId>> rows(100);
+  for (RowId r = 0; r < 50; ++r) rows[r] = {0, 1};
+  for (RowId r = 50; r < 52; ++r) rows[r] = {0};
+  for (RowId r = 60; r < 70; ++r) rows[r] = {2};
+  auto m = BinaryMatrix::FromRows(100, 3, rows);
+  ASSERT_TRUE(m.ok());
+  DisjunctionMinerConfig config;
+  config.min_hash.num_hashes = 120;
+  config.min_hash.seed = 5;
+  DisjunctionMiner miner(config);
+  auto report = miner.Mine(*m, 0.5);
+  ASSERT_TRUE(report.ok());
+  for (const DisjunctionRule& rule : report->rules) {
+    EXPECT_GT(rule.similarity, rule.pair_similarity_a);
+    EXPECT_GT(rule.similarity, rule.pair_similarity_b);
+  }
+}
+
+TEST(DisjunctionMinerTest, VerifiedSimilaritiesAreExact) {
+  // Random-ish matrix: every reported similarity must equal the
+  // brute-force three-way computation.
+  Xoshiro256 rng(9);
+  std::vector<std::vector<ColumnId>> rows(300);
+  for (RowId r = 0; r < 300; ++r) {
+    for (ColumnId c = 0; c < 12; ++c) {
+      if (rng.NextBernoulli(0.15)) rows[r].push_back(c);
+    }
+  }
+  auto m = BinaryMatrix::FromRows(300, 12, rows);
+  ASSERT_TRUE(m.ok());
+  DisjunctionMinerConfig config;
+  config.min_hash.num_hashes = 100;
+  config.min_hash.seed = 11;
+  config.neighbour_floor = 0.05;
+  DisjunctionMiner miner(config);
+  auto report = miner.Mine(*m, 0.3);
+  ASSERT_TRUE(report.ok());
+  for (const DisjunctionRule& rule : report->rules) {
+    EXPECT_DOUBLE_EQ(
+        rule.similarity,
+        ExactOrSimilarity(*m, rule.target, rule.disjunct_a,
+                          rule.disjunct_b));
+    EXPECT_GE(rule.similarity, 0.3);
+  }
+}
+
+TEST(DisjunctionMinerTest, RejectsBadThreshold) {
+  const BinaryMatrix m = SplitTargetMatrix();
+  DisjunctionMinerConfig config;
+  config.min_hash.num_hashes = 16;
+  DisjunctionMiner miner(config);
+  EXPECT_FALSE(miner.Mine(m, 0.0).ok());
+  EXPECT_FALSE(miner.Mine(m, 1.5).ok());
+}
+
+}  // namespace
+}  // namespace sans

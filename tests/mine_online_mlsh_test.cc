@@ -1,0 +1,197 @@
+#include "mine/online_mlsh.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "data/synthetic_generator.h"
+#include "matrix/row_stream.h"
+#include "mine/mlsh_miner.h"
+
+namespace sans {
+namespace {
+
+SyntheticDataset TestData() {
+  SyntheticConfig config;
+  config.num_rows = 1200;
+  config.num_cols = 100;
+  config.bands = {{3, 85.0, 95.0}, {3, 55.0, 65.0}};
+  config.spread_pairs = false;
+  config.min_density = 0.03;
+  config.max_density = 0.08;
+  config.seed = 47;
+  auto d = GenerateSynthetic(config);
+  EXPECT_TRUE(d.ok());
+  return std::move(d).value();
+}
+
+TEST(OnlineMlshConfigTest, Validation) {
+  OnlineMlshConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.rows_per_band = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.max_bands = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(OnlineMlshMinerTest, StepBeforeStartFails) {
+  OnlineMlshConfig config;
+  OnlineMlshMiner miner(config);
+  EXPECT_FALSE(miner.Step().ok());
+}
+
+TEST(OnlineMlshMinerTest, RunsToCompletion) {
+  const SyntheticDataset data = TestData();
+  InMemorySource source(&data.matrix);
+  OnlineMlshConfig config;
+  config.rows_per_band = 4;
+  config.max_bands = 10;
+  config.seed = 3;
+  OnlineMlshMiner miner(config);
+  ASSERT_TRUE(miner.Start(source, 0.5).ok());
+  int steps = 0;
+  while (!miner.done()) {
+    auto step = miner.Step();
+    ASSERT_TRUE(step.ok());
+    EXPECT_EQ(step->band, steps);
+    ++steps;
+  }
+  EXPECT_EQ(steps, 10);
+  EXPECT_EQ(miner.bands_processed(), 10);
+  // Stepping past the end is an error, not UB.
+  EXPECT_FALSE(miner.Step().ok());
+}
+
+TEST(OnlineMlshMinerTest, OutputHasNoFalsePositivesAndNoDuplicates) {
+  const SyntheticDataset data = TestData();
+  InMemorySource source(&data.matrix);
+  OnlineMlshConfig config;
+  config.rows_per_band = 4;
+  config.max_bands = 12;
+  config.seed = 5;
+  OnlineMlshMiner miner(config);
+  ASSERT_TRUE(miner.Start(source, 0.5).ok());
+  std::set<std::pair<ColumnId, ColumnId>> seen;
+  while (!miner.done()) {
+    auto step = miner.Step();
+    ASSERT_TRUE(step.ok());
+    for (const SimilarPair& p : step->new_pairs) {
+      EXPECT_GE(data.matrix.Similarity(p.pair.first, p.pair.second), 0.5);
+      EXPECT_TRUE(seen.insert({p.pair.first, p.pair.second}).second)
+          << "pair reported twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), miner.found().size());
+}
+
+TEST(OnlineMlshMinerTest, ResidualFnProbabilityDecreases) {
+  const SyntheticDataset data = TestData();
+  InMemorySource source(&data.matrix);
+  OnlineMlshConfig config;
+  config.rows_per_band = 3;
+  config.max_bands = 8;
+  OnlineMlshMiner miner(config);
+  ASSERT_TRUE(miner.Start(source, 0.5).ok());
+  double prev = 1.0;
+  while (!miner.done()) {
+    auto step = miner.Step();
+    ASSERT_TRUE(step.ok());
+    EXPECT_LT(step->residual_fn_probability, prev);
+    prev = step->residual_fn_probability;
+  }
+  // (1 - 0.5^3)^8 ≈ 0.344.
+  EXPECT_NEAR(prev, std::pow(1.0 - 0.125, 8), 1e-12);
+}
+
+TEST(OnlineMlshMinerTest, HighSimilarityPairsAppearEarly) {
+  // "The higher the similarity, the earlier the pair is likely to be
+  // discovered": after just 3 bands the 0.85+ planted pairs should
+  // all be present (per-band hit probability 0.85^4 ≈ 0.52).
+  const SyntheticDataset data = TestData();
+  InMemorySource source(&data.matrix);
+  OnlineMlshConfig config;
+  config.rows_per_band = 4;
+  config.max_bands = 16;
+  config.seed = 9;
+  OnlineMlshMiner miner(config);
+  ASSERT_TRUE(miner.Start(source, 0.5).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(miner.Step().ok());
+  }
+  int high_found = 0;
+  int high_total = 0;
+  for (const PlantedPair& planted : data.planted) {
+    if (planted.target_similarity < 0.8) continue;
+    ++high_total;
+    for (const SimilarPair& p : miner.found()) {
+      if (p.pair == planted.pair) {
+        ++high_found;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(high_total, 0);
+  EXPECT_GE(high_found, high_total - 1);  // allow one unlucky pair
+}
+
+TEST(OnlineMlshMinerTest, FullRunMatchesBatchMlsh) {
+  // Running all bands must find exactly what the batch miner with the
+  // same (r, l, seed) finds.
+  const SyntheticDataset data = TestData();
+  InMemorySource source(&data.matrix);
+
+  OnlineMlshConfig online_config;
+  online_config.rows_per_band = 4;
+  online_config.max_bands = 8;
+  online_config.seed = 21;
+  OnlineMlshMiner online(online_config);
+  ASSERT_TRUE(online.Start(source, 0.5).ok());
+  while (!online.done()) {
+    ASSERT_TRUE(online.Step().ok());
+  }
+
+  MlshMinerConfig batch_config;
+  batch_config.lsh.rows_per_band = 4;
+  batch_config.lsh.num_bands = 8;
+  batch_config.seed = 21;
+  MlshMiner batch(batch_config);
+  auto batch_report = batch.Mine(source, 0.5);
+  ASSERT_TRUE(batch_report.ok());
+
+  std::set<std::pair<ColumnId, ColumnId>> online_pairs;
+  for (const SimilarPair& p : online.found()) {
+    online_pairs.insert({p.pair.first, p.pair.second});
+  }
+  std::set<std::pair<ColumnId, ColumnId>> batch_pairs;
+  for (const SimilarPair& p : batch_report->pairs) {
+    batch_pairs.insert({p.pair.first, p.pair.second});
+  }
+  EXPECT_EQ(online_pairs, batch_pairs);
+}
+
+TEST(OnlineMlshMinerTest, StartResetsState) {
+  const SyntheticDataset data = TestData();
+  InMemorySource source(&data.matrix);
+  OnlineMlshConfig config;
+  config.rows_per_band = 4;
+  config.max_bands = 4;
+  OnlineMlshMiner miner(config);
+  ASSERT_TRUE(miner.Start(source, 0.5).ok());
+  while (!miner.done()) {
+    ASSERT_TRUE(miner.Step().ok());
+  }
+  const size_t first_run = miner.found().size();
+  ASSERT_TRUE(miner.Start(source, 0.5).ok());
+  EXPECT_EQ(miner.bands_processed(), 0);
+  EXPECT_TRUE(miner.found().empty());
+  while (!miner.done()) {
+    ASSERT_TRUE(miner.Step().ok());
+  }
+  EXPECT_EQ(miner.found().size(), first_run);
+}
+
+}  // namespace
+}  // namespace sans

@@ -1,0 +1,168 @@
+#include "mine/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_generator.h"
+#include "data/weblog_generator.h"
+#include "matrix/row_stream.h"
+
+namespace sans {
+namespace {
+
+BinaryMatrix TestMatrix() {
+  SyntheticConfig config;
+  config.num_rows = 2000;
+  config.num_cols = 120;
+  config.bands = {{4, 60.0, 90.0}};
+  config.spread_pairs = false;
+  config.seed = 55;
+  auto d = GenerateSynthetic(config);
+  EXPECT_TRUE(d.ok());
+  return std::move(d->matrix);
+}
+
+class ParallelMinHashTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelMinHashTest, MatchesSequentialBitForBit) {
+  const int threads = GetParam();
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  MinHashConfig config;
+  config.num_hashes = 32;
+  config.seed = 7;
+
+  auto parallel = ComputeMinHashParallel(source, config, threads);
+  ASSERT_TRUE(parallel.ok());
+  auto sequential = ComputeMinHashParallel(source, config, 1);
+  ASSERT_TRUE(sequential.ok());
+  for (int l = 0; l < 32; ++l) {
+    for (ColumnId c = 0; c < m.num_cols(); ++c) {
+      ASSERT_EQ(parallel->Value(l, c), sequential->Value(l, c))
+          << "threads=" << threads << " l=" << l << " c=" << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelMinHashTest,
+                         ::testing::Values(2, 3, 4, 8));
+
+class ParallelVerifyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelVerifyTest, MatchesSequentialCounts) {
+  const int threads = GetParam();
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  std::vector<ColumnPair> candidates;
+  for (ColumnId c = 0; c + 1 < m.num_cols(); c += 3) {
+    candidates.push_back(ColumnPair(c, c + 1));
+  }
+
+  auto parallel =
+      CountCandidatePairsParallel(source, candidates, threads);
+  ASSERT_TRUE(parallel.ok());
+  auto sequential = CountCandidatePairsParallel(source, candidates, 1);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_EQ(parallel->size(), sequential->size());
+  for (size_t i = 0; i < parallel->size(); ++i) {
+    EXPECT_EQ((*parallel)[i].pair, (*sequential)[i].pair);
+    EXPECT_EQ((*parallel)[i].union_count,
+              (*sequential)[i].union_count);
+    EXPECT_EQ((*parallel)[i].intersection_count,
+              (*sequential)[i].intersection_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelVerifyTest,
+                         ::testing::Values(2, 3, 4, 8));
+
+TEST(ParallelTest, CountsMatchExactSimilarity) {
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  std::vector<ColumnPair> candidates = {ColumnPair(0, 1),
+                                        ColumnPair(2, 3)};
+  auto verified = CountCandidatePairsParallel(source, candidates, 4);
+  ASSERT_TRUE(verified.ok());
+  for (const VerifiedPair& v : *verified) {
+    EXPECT_DOUBLE_EQ(v.similarity(),
+                     m.Similarity(v.pair.first, v.pair.second));
+  }
+}
+
+TEST(ParallelTest, RejectsBadArguments) {
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  MinHashConfig config;
+  EXPECT_FALSE(ComputeMinHashParallel(source, config, 0).ok());
+  EXPECT_FALSE(
+      CountCandidatePairsParallel(source, {ColumnPair(0, 1)}, 0).ok());
+  EXPECT_FALSE(
+      CountCandidatePairsParallel(source, {ColumnPair(1, 1)}, 2).ok());
+  EXPECT_FALSE(
+      CountCandidatePairsParallel(source, {ColumnPair(0, 9999)}, 2)
+          .ok());
+}
+
+TEST(ParallelTest, PropagatesOpenFailure) {
+  class FailingSource final : public RowStreamSource {
+   public:
+    RowId num_rows() const override { return 4; }
+    ColumnId num_cols() const override { return 4; }
+    Result<std::unique_ptr<RowStream>> Open() const override {
+      return Status::IOError("injected");
+    }
+  };
+  FailingSource source;
+  MinHashConfig config;
+  config.num_hashes = 4;
+  EXPECT_EQ(ComputeMinHashParallel(source, config, 3).status().code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(CountCandidatePairsParallel(source, {ColumnPair(0, 1)}, 3)
+                .status()
+                .code(),
+            StatusCode::kIOError);
+}
+
+TEST(ParallelTest, MoreThreadsThanRowsIsFine) {
+  auto m = BinaryMatrix::FromRows(3, 2, {{0, 1}, {0}, {1}});
+  ASSERT_TRUE(m.ok());
+  InMemorySource source(&*m);
+  MinHashConfig config;
+  config.num_hashes = 8;
+  auto parallel = ComputeMinHashParallel(source, config, 16);
+  auto sequential = ComputeMinHashParallel(source, config, 1);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_TRUE(sequential.ok());
+  for (int l = 0; l < 8; ++l) {
+    for (ColumnId c = 0; c < 2; ++c) {
+      EXPECT_EQ(parallel->Value(l, c), sequential->Value(l, c));
+    }
+  }
+}
+
+TEST(ParallelTest, WeblogEndToEndSpeedSanity) {
+  // Not a benchmark — just confirm the parallel path handles a
+  // realistic dataset and agrees with a fresh sequential run.
+  WeblogConfig config;
+  config.num_clients = 5000;
+  config.num_urls = 400;
+  config.num_bundles = 15;
+  config.seed = 77;
+  auto dataset = GenerateWeblog(config);
+  ASSERT_TRUE(dataset.ok());
+  InMemorySource source(&dataset->matrix);
+  MinHashConfig mh;
+  mh.num_hashes = 64;
+  mh.seed = 9;
+  auto parallel = ComputeMinHashParallel(source, mh, 4);
+  ASSERT_TRUE(parallel.ok());
+  MinHashGenerator generator(mh);
+  InMemoryRowStream stream(&dataset->matrix);
+  auto sequential = generator.Compute(&stream);
+  ASSERT_TRUE(sequential.ok());
+  for (ColumnId c = 0; c < 400; ++c) {
+    EXPECT_EQ(parallel->Value(0, c), sequential->Value(0, c));
+  }
+}
+
+}  // namespace
+}  // namespace sans

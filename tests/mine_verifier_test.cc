@@ -1,0 +1,126 @@
+#include "mine/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/row_stream.h"
+
+namespace sans {
+namespace {
+
+BinaryMatrix PaperExample() {
+  auto m = BinaryMatrix::FromRows(4, 3, {{0, 1}, {0, 1}, {1, 2}, {2}});
+  EXPECT_TRUE(m.ok());
+  return std::move(m).value();
+}
+
+TEST(CountCandidatePairsTest, ExactCounts) {
+  const BinaryMatrix m = PaperExample();
+  InMemoryRowStream stream(&m);
+  const std::vector<ColumnPair> candidates = {
+      ColumnPair(0, 1), ColumnPair(0, 2), ColumnPair(1, 2)};
+  auto verified = CountCandidatePairs(&stream, candidates);
+  ASSERT_TRUE(verified.ok());
+  ASSERT_EQ(verified->size(), 3u);
+
+  EXPECT_EQ((*verified)[0].pair, ColumnPair(0, 1));
+  EXPECT_EQ((*verified)[0].union_count, 3u);
+  EXPECT_EQ((*verified)[0].intersection_count, 2u);
+  EXPECT_DOUBLE_EQ((*verified)[0].similarity(), 2.0 / 3.0);
+
+  EXPECT_EQ((*verified)[1].union_count, 4u);
+  EXPECT_EQ((*verified)[1].intersection_count, 0u);
+
+  EXPECT_EQ((*verified)[2].union_count, 4u);
+  EXPECT_EQ((*verified)[2].intersection_count, 1u);
+  EXPECT_DOUBLE_EQ((*verified)[2].similarity(), 0.25);
+}
+
+TEST(CountCandidatePairsTest, EmptyCandidateListIsFine) {
+  const BinaryMatrix m = PaperExample();
+  InMemoryRowStream stream(&m);
+  auto verified = CountCandidatePairs(&stream, {});
+  ASSERT_TRUE(verified.ok());
+  EXPECT_TRUE(verified->empty());
+}
+
+TEST(CountCandidatePairsTest, RejectsInvalidCandidates) {
+  const BinaryMatrix m = PaperExample();
+  InMemoryRowStream stream(&m);
+  auto same = CountCandidatePairs(&stream, {ColumnPair(1, 1)});
+  EXPECT_FALSE(same.ok());
+  EXPECT_EQ(same.status().code(), StatusCode::kInvalidArgument);
+
+  InMemoryRowStream stream2(&m);
+  auto range = CountCandidatePairs(&stream2, {ColumnPair(0, 7)});
+  EXPECT_FALSE(range.ok());
+  EXPECT_EQ(range.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CountCandidatePairsTest, PairsWithNoOccurrenceCountZero) {
+  auto m = BinaryMatrix::FromRows(3, 4, {{0}, {1}, {0, 1}});
+  ASSERT_TRUE(m.ok());
+  InMemoryRowStream stream(&*m);
+  auto verified = CountCandidatePairs(&stream, {ColumnPair(2, 3)});
+  ASSERT_TRUE(verified.ok());
+  EXPECT_EQ((*verified)[0].union_count, 0u);
+  EXPECT_EQ((*verified)[0].intersection_count, 0u);
+  EXPECT_DOUBLE_EQ((*verified)[0].similarity(), 0.0);
+}
+
+TEST(VerifyCandidatesTest, FiltersAndSortsByThreshold) {
+  const BinaryMatrix m = PaperExample();
+  InMemorySource source(&m);
+  const std::vector<ColumnPair> candidates = {
+      ColumnPair(0, 1), ColumnPair(0, 2), ColumnPair(1, 2)};
+  auto pairs = VerifyCandidates(source, candidates, 0.2);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 2u);
+  // Sorted descending: (0,1) at 2/3 before (1,2) at 1/4.
+  EXPECT_EQ((*pairs)[0].pair, ColumnPair(0, 1));
+  EXPECT_DOUBLE_EQ((*pairs)[0].similarity, 2.0 / 3.0);
+  EXPECT_EQ((*pairs)[1].pair, ColumnPair(1, 2));
+
+  auto strict = VerifyCandidates(source, candidates, 0.5);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_EQ(strict->size(), 1u);
+}
+
+TEST(VerifyCandidatesTest, NoFalsePositivesSurvive) {
+  // Whatever garbage the candidate list contains, the verified output
+  // contains only pairs truly at or above the threshold.
+  const BinaryMatrix m = PaperExample();
+  InMemorySource source(&m);
+  std::vector<ColumnPair> everything;
+  for (ColumnId i = 0; i < 3; ++i) {
+    for (ColumnId j = i + 1; j < 3; ++j) {
+      everything.push_back(ColumnPair(i, j));
+    }
+  }
+  auto pairs = VerifyCandidates(source, everything, 0.6);
+  ASSERT_TRUE(pairs.ok());
+  for (const SimilarPair& p : *pairs) {
+    EXPECT_GE(m.Similarity(p.pair.first, p.pair.second), 0.6);
+  }
+  EXPECT_EQ(pairs->size(), 1u);
+}
+
+TEST(CountCandidatePairsTest, SharedColumnAcrossManyCandidates) {
+  // Column 0 participates in several candidates; per-row scratch must
+  // keep them independent.
+  auto m = BinaryMatrix::FromRows(
+      4, 4, {{0, 1, 2, 3}, {0, 1}, {0, 2}, {3}});
+  ASSERT_TRUE(m.ok());
+  InMemoryRowStream stream(&*m);
+  const std::vector<ColumnPair> candidates = {
+      ColumnPair(0, 1), ColumnPair(0, 2), ColumnPair(0, 3)};
+  auto verified = CountCandidatePairs(&stream, candidates);
+  ASSERT_TRUE(verified.ok());
+  EXPECT_EQ((*verified)[0].intersection_count, 2u);  // rows 0,1
+  EXPECT_EQ((*verified)[0].union_count, 3u);
+  EXPECT_EQ((*verified)[1].intersection_count, 2u);  // rows 0,2
+  EXPECT_EQ((*verified)[2].intersection_count, 1u);  // row 0
+  EXPECT_EQ((*verified)[2].union_count, 4u);
+}
+
+}  // namespace
+}  // namespace sans

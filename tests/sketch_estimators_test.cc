@@ -1,0 +1,126 @@
+#include "sketch/estimators.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_generator.h"
+#include "matrix/row_stream.h"
+
+namespace sans {
+namespace {
+
+TEST(SignatureIntersectionSizeTest, CountsCommonValues) {
+  const std::vector<uint64_t> a = {1, 3, 5, 7};
+  const std::vector<uint64_t> b = {2, 3, 7, 9};
+  EXPECT_EQ(SignatureIntersectionSize(a, b), 2u);
+  EXPECT_EQ(SignatureIntersectionSize(a, a), 4u);
+  EXPECT_EQ(SignatureIntersectionSize(a, {}), 0u);
+}
+
+TEST(EstimateSimilarityUnbiasedTest, ExactOnFullSignatures) {
+  // When k covers the whole union the estimator is exact Jaccard.
+  // Sets {1,2,3,4} and {3,4,5,6}: J = 2/6.
+  const std::vector<uint64_t> a = {1, 2, 3, 4};
+  const std::vector<uint64_t> b = {3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(EstimateSimilarityUnbiased(a, b, 10), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(EstimateSimilarityUnbiased(a, a, 10), 1.0);
+}
+
+TEST(EstimateSimilarityUnbiasedTest, TruncatedUnionCountsCorrectly) {
+  // k = 3: SIG_{a∪b} = {1,2,3}; of these, only 3 is in both.
+  const std::vector<uint64_t> a = {1, 2, 3};
+  const std::vector<uint64_t> b = {3, 4, 5};
+  EXPECT_DOUBLE_EQ(EstimateSimilarityUnbiased(a, b, 3), 1.0 / 3.0);
+}
+
+TEST(EstimateSimilarityUnbiasedTest, EmptySignaturesGiveZero) {
+  EXPECT_DOUBLE_EQ(EstimateSimilarityUnbiased({}, {}, 5), 0.0);
+  const std::vector<uint64_t> a = {1};
+  EXPECT_DOUBLE_EQ(EstimateSimilarityUnbiased(a, {}, 5), 0.0);
+}
+
+TEST(EstimateSimilarityBiasedTest, ZeroCardinalityGivesZero) {
+  EXPECT_DOUBLE_EQ(EstimateSimilarityBiased(0, 0, 10, 5), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateSimilarityBiased(0, 10, 0, 5), 0.0);
+}
+
+TEST(EstimateSimilarityBiasedTest, FullOverlapEstimatesOne) {
+  // Identical columns of cardinality 100 at k = 20: expected
+  // intersection is 20, implying |C_ij| = 100 and similarity 1.
+  EXPECT_DOUBLE_EQ(EstimateSimilarityBiased(20, 100, 100, 20), 1.0);
+}
+
+TEST(EstimateSimilarityBiasedTest, SmallColumnsAreExact) {
+  // Cardinalities below k: signatures are the full sets, so the
+  // intersection count is exact. |C_a| = 4, |C_b| = 6, t = 2:
+  // similarity = 2 / (4 + 6 - 2) = 0.25.
+  EXPECT_DOUBLE_EQ(EstimateSimilarityBiased(2, 4, 6, 50), 0.25);
+}
+
+TEST(EstimateSimilarityBiasedTest, ClampsToValidRange) {
+  // Noisy over-count cannot push the estimate above 1.
+  const double s = EstimateSimilarityBiased(20, 100, 20, 20);
+  EXPECT_LE(s, 1.0);
+  EXPECT_GE(s, 0.0);
+}
+
+TEST(EstimateSimilarityBiasedTest, TracksTruthOnRandomData) {
+  SyntheticConfig config;
+  config.num_rows = 4000;
+  config.num_cols = 10;
+  config.bands = {{1, 50.0, 51.0}};
+  config.spread_pairs = false;
+  config.min_density = 0.08;
+  config.max_density = 0.12;
+  config.seed = 17;
+  auto dataset = GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok());
+  const ColumnPair planted = dataset->planted[0].pair;
+  const double truth =
+      dataset->matrix.Similarity(planted.first, planted.second);
+
+  KMinHashConfig sketch_config;
+  sketch_config.k = 256;
+  sketch_config.seed = 23;
+  KMinHashGenerator generator(sketch_config);
+  InMemoryRowStream stream(&dataset->matrix);
+  auto sketch = generator.Compute(&stream);
+  ASSERT_TRUE(sketch.ok());
+
+  const uint64_t t = SignatureIntersectionSize(
+      sketch->Signature(planted.first), sketch->Signature(planted.second));
+  const double estimate = EstimateSimilarityBiased(
+      t, sketch->ColumnCardinality(planted.first),
+      sketch->ColumnCardinality(planted.second), sketch_config.k);
+  EXPECT_NEAR(estimate, truth, 0.12);
+}
+
+TEST(Lemma1BoundsTest, BracketsTrueSimilarity) {
+  // t / min(2k, |union|) <= S <= t / min(k, |union|).
+  const SimilarityBounds bounds = Lemma1Bounds(10, 200, 20);
+  EXPECT_DOUBLE_EQ(bounds.lower, 10.0 / 40.0);
+  EXPECT_DOUBLE_EQ(bounds.upper, 10.0 / 20.0);
+  EXPECT_LE(bounds.lower, bounds.upper);
+}
+
+TEST(Lemma1BoundsTest, SmallUnionUsesUnionSize) {
+  const SimilarityBounds bounds = Lemma1Bounds(3, 8, 20);
+  EXPECT_DOUBLE_EQ(bounds.lower, 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(bounds.upper, 3.0 / 8.0);
+}
+
+TEST(Lemma1BoundsTest, EmptyUnionGivesZeros) {
+  const SimilarityBounds bounds = Lemma1Bounds(0, 0, 20);
+  EXPECT_DOUBLE_EQ(bounds.lower, 0.0);
+  EXPECT_DOUBLE_EQ(bounds.upper, 0.0);
+}
+
+TEST(BiasedCandidateThresholdTest, ScalesWithParameters) {
+  EXPECT_EQ(BiasedCandidateThreshold(0.5, 100, 1.0), 50u);
+  EXPECT_EQ(BiasedCandidateThreshold(0.5, 100, 0.5), 25u);
+  // Never below 1.
+  EXPECT_EQ(BiasedCandidateThreshold(0.01, 10, 0.5), 1u);
+  EXPECT_EQ(BiasedCandidateThreshold(0.0, 100, 1.0), 1u);
+}
+
+}  // namespace
+}  // namespace sans

@@ -1,0 +1,148 @@
+#include "sketch/sketch_io.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/synthetic_generator.h"
+#include "matrix/row_stream.h"
+#include "sketch/min_hash.h"
+
+namespace sans {
+namespace {
+
+class SketchIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sans_sketch_io_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static int counter_;
+  std::filesystem::path dir_;
+};
+
+int SketchIoTest::counter_ = 0;
+
+BinaryMatrix TestMatrix() {
+  SyntheticConfig config;
+  config.num_rows = 300;
+  config.num_cols = 40;
+  config.bands = {{2, 70.0, 90.0}};
+  config.spread_pairs = false;
+  config.seed = 9;
+  auto d = GenerateSynthetic(config);
+  EXPECT_TRUE(d.ok());
+  return std::move(d->matrix);
+}
+
+TEST_F(SketchIoTest, SignatureMatrixRoundTrips) {
+  const BinaryMatrix m = TestMatrix();
+  MinHashConfig config;
+  config.num_hashes = 12;
+  config.seed = 5;
+  MinHashGenerator generator(config);
+  InMemoryRowStream stream(&m);
+  auto signatures = generator.Compute(&stream);
+  ASSERT_TRUE(signatures.ok());
+
+  const std::string path = Path("sig.sans");
+  ASSERT_TRUE(WriteSignatureMatrix(*signatures, path).ok());
+  auto loaded = ReadSignatureMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_hashes(), 12);
+  ASSERT_EQ(loaded->num_cols(), 40u);
+  for (int l = 0; l < 12; ++l) {
+    for (ColumnId c = 0; c < 40; ++c) {
+      EXPECT_EQ(loaded->Value(l, c), signatures->Value(l, c));
+    }
+  }
+}
+
+TEST_F(SketchIoTest, SketchRoundTrips) {
+  const BinaryMatrix m = TestMatrix();
+  KMinHashConfig config;
+  config.k = 8;
+  config.seed = 7;
+  KMinHashGenerator generator(config);
+  InMemoryRowStream stream(&m);
+  auto sketch = generator.Compute(&stream);
+  ASSERT_TRUE(sketch.ok());
+
+  const std::string path = Path("sketch.sans");
+  ASSERT_TRUE(WriteKMinHashSketch(*sketch, path).ok());
+  auto loaded = ReadKMinHashSketch(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->k(), 8);
+  ASSERT_EQ(loaded->num_cols(), 40u);
+  for (ColumnId c = 0; c < 40; ++c) {
+    const auto a = sketch->Signature(c);
+    const auto b = loaded->Signature(c);
+    EXPECT_EQ(std::vector<uint64_t>(a.begin(), a.end()),
+              std::vector<uint64_t>(b.begin(), b.end()));
+    EXPECT_EQ(loaded->ColumnCardinality(c),
+              sketch->ColumnCardinality(c));
+  }
+}
+
+TEST_F(SketchIoTest, WrongMagicRejected) {
+  // A signature file is not a sketch file and vice versa.
+  const BinaryMatrix m = TestMatrix();
+  MinHashConfig config;
+  config.num_hashes = 4;
+  MinHashGenerator generator(config);
+  InMemoryRowStream stream(&m);
+  auto signatures = generator.Compute(&stream);
+  ASSERT_TRUE(signatures.ok());
+  const std::string path = Path("sig.sans");
+  ASSERT_TRUE(WriteSignatureMatrix(*signatures, path).ok());
+  auto as_sketch = ReadKMinHashSketch(path);
+  EXPECT_FALSE(as_sketch.ok());
+  EXPECT_EQ(as_sketch.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(SketchIoTest, TruncationDetected) {
+  const BinaryMatrix m = TestMatrix();
+  KMinHashConfig config;
+  config.k = 8;
+  KMinHashGenerator generator(config);
+  InMemoryRowStream stream(&m);
+  auto sketch = generator.Compute(&stream);
+  ASSERT_TRUE(sketch.ok());
+  const std::string path = Path("trunc.sans");
+  ASSERT_TRUE(WriteKMinHashSketch(*sketch, path).ok());
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 9);
+  auto loaded = ReadKMinHashSketch(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(SketchIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadSignatureMatrix(Path("nope")).status().code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(ReadKMinHashSketch(Path("nope")).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(KMinHashSketchSetColumnTest, ValidatesInput) {
+  KMinHashSketch sketch(4, 3);
+  EXPECT_TRUE(sketch.SetColumn(0, {1, 2, 3}, 3).ok());
+  EXPECT_FALSE(sketch.SetColumn(5, {1}, 1).ok());        // range
+  EXPECT_FALSE(sketch.SetColumn(0, {1, 2, 3, 4, 5}, 9).ok());  // > k
+  EXPECT_FALSE(sketch.SetColumn(0, {3, 2}, 2).ok());     // unsorted
+  EXPECT_FALSE(sketch.SetColumn(0, {2, 2}, 2).ok());     // duplicate
+  EXPECT_FALSE(sketch.SetColumn(0, {1, 2}, 1).ok());     // card < size
+}
+
+}  // namespace
+}  // namespace sans

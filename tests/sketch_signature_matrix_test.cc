@@ -1,0 +1,95 @@
+#include "sketch/signature_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace sans {
+namespace {
+
+TEST(SignatureMatrixTest, InitializedToSentinel) {
+  SignatureMatrix m(3, 4);
+  EXPECT_EQ(m.num_hashes(), 3);
+  EXPECT_EQ(m.num_cols(), 4u);
+  for (int l = 0; l < 3; ++l) {
+    for (ColumnId c = 0; c < 4; ++c) {
+      EXPECT_EQ(m.Value(l, c), kEmptyMinHash);
+    }
+  }
+  EXPECT_TRUE(m.ColumnEmpty(0));
+}
+
+TEST(SignatureMatrixTest, MinUpdateKeepsMinimum) {
+  SignatureMatrix m(1, 1);
+  m.MinUpdate(0, 0, 50);
+  EXPECT_EQ(m.Value(0, 0), 50u);
+  m.MinUpdate(0, 0, 70);
+  EXPECT_EQ(m.Value(0, 0), 50u);
+  m.MinUpdate(0, 0, 10);
+  EXPECT_EQ(m.Value(0, 0), 10u);
+  EXPECT_FALSE(m.ColumnEmpty(0));
+}
+
+TEST(SignatureMatrixTest, HashRowIsContiguousView) {
+  SignatureMatrix m(2, 3);
+  m.SetValue(1, 0, 5);
+  m.SetValue(1, 2, 9);
+  const auto row = m.HashRow(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 5u);
+  EXPECT_EQ(row[1], kEmptyMinHash);
+  EXPECT_EQ(row[2], 9u);
+}
+
+TEST(SignatureMatrixTest, ColumnSignatureMaterializes) {
+  SignatureMatrix m(3, 2);
+  m.SetValue(0, 1, 10);
+  m.SetValue(1, 1, 20);
+  m.SetValue(2, 1, 30);
+  std::vector<uint64_t> sig;
+  m.ColumnSignature(1, &sig);
+  EXPECT_EQ(sig, (std::vector<uint64_t>{10, 20, 30}));
+}
+
+TEST(SignatureMatrixTest, FractionEqualCountsAgreements) {
+  SignatureMatrix m(4, 2);
+  m.SetValue(0, 0, 1);
+  m.SetValue(1, 0, 2);
+  m.SetValue(2, 0, 3);
+  m.SetValue(3, 0, 4);
+  m.SetValue(0, 1, 1);
+  m.SetValue(1, 1, 2);
+  m.SetValue(2, 1, 99);
+  m.SetValue(3, 1, 98);
+  EXPECT_DOUBLE_EQ(m.FractionEqual(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(m.FractionEqual(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m.FractionEqual(0, 0), 1.0);
+}
+
+TEST(SignatureMatrixTest, EmptyColumnsNeverSimilar) {
+  SignatureMatrix m(2, 3);
+  m.SetValue(0, 0, 1);
+  m.SetValue(1, 0, 2);
+  // Columns 1 and 2 are both empty; their sentinel rows agree but
+  // that must not read as similarity 1.
+  EXPECT_DOUBLE_EQ(m.FractionEqual(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(m.FractionEqual(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.FractionLessOrEqual(1, 2), 0.0);
+}
+
+TEST(SignatureMatrixTest, FractionLessOrEqualEstimatesDirection) {
+  SignatureMatrix m(4, 2);
+  // Column 0's values are <= column 1's in 3 of 4 rows.
+  const uint64_t a[4] = {1, 5, 7, 9};
+  const uint64_t b[4] = {2, 5, 6, 10};
+  for (int l = 0; l < 4; ++l) {
+    m.SetValue(l, 0, a[l]);
+    m.SetValue(l, 1, b[l]);
+  }
+  EXPECT_DOUBLE_EQ(m.FractionLessOrEqual(0, 1), 0.75);
+  EXPECT_DOUBLE_EQ(m.FractionLessOrEqual(1, 0), 0.5);
+  // Equal entries count for both directions.
+  EXPECT_GE(m.FractionLessOrEqual(0, 1) + m.FractionLessOrEqual(1, 0),
+            1.0);
+}
+
+}  // namespace
+}  // namespace sans

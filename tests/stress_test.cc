@@ -1,0 +1,147 @@
+// Randomized stress: on random small matrices, every miner with
+// generous parameters must (a) report exactly-verified similarities,
+// (b) never emit a pair below the threshold, and (c) find every pair
+// comfortably above it. Parameterized over seeds so regressions in
+// any stage (hashing, candidate generation, verification) surface as
+// a seed-specific failure.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "matrix/matrix_builder.h"
+#include "matrix/row_stream.h"
+#include "mine/brute_force.h"
+#include "mine/hlsh_miner.h"
+#include "mine/kmh_miner.h"
+#include "mine/mh_miner.h"
+#include "mine/mlsh_miner.h"
+#include "util/random.h"
+
+namespace sans {
+namespace {
+
+/// A random sparse matrix with a few duplicated/perturbed columns so
+/// every draw has some genuinely similar pairs.
+BinaryMatrix RandomMatrix(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const RowId n = 200 + static_cast<RowId>(rng.NextBounded(400));
+  const ColumnId m = 20 + static_cast<ColumnId>(rng.NextBounded(40));
+  MatrixBuilder builder(n, m);
+  // Independent base columns.
+  for (ColumnId c = 0; c < m; c += 2) {
+    const double density = 0.02 + rng.NextDouble() * 0.1;
+    for (RowId r = 0; r < n; ++r) {
+      if (rng.NextBernoulli(density)) {
+        SANS_CHECK(builder.Set(r, c).ok());
+      }
+    }
+  }
+  // Odd columns: perturbed copies of their left neighbour.
+  auto base = std::move(builder).Build();
+  SANS_CHECK(base.ok());
+  MatrixBuilder full(n, m);
+  for (RowId r = 0; r < n; ++r) {
+    for (ColumnId c : base->Row(r)) {
+      SANS_CHECK(full.Set(r, c).ok());
+      if (c + 1 < m && rng.NextBernoulli(0.85)) {
+        SANS_CHECK(full.Set(r, c + 1).ok());
+      }
+    }
+    // Sprinkle noise into odd columns.
+    for (ColumnId c = 1; c < m; c += 2) {
+      if (rng.NextBernoulli(0.01)) {
+        SANS_CHECK(full.Set(r, c).ok());
+      }
+    }
+  }
+  auto matrix = std::move(full).Build();
+  SANS_CHECK(matrix.ok());
+  return std::move(matrix).value();
+}
+
+class MinerStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinerStressTest, AllMinersAgreeWithBruteForce) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  const BinaryMatrix matrix = RandomMatrix(seed);
+  InMemorySource source(&matrix);
+  const double threshold = 0.5;
+  // Pairs comfortably above the threshold must always be found by the
+  // min-hash schemes. H-LSH gets a looser bar: the paper positions it
+  // for high cutoffs with tolerated false negatives, so it is only
+  // required to find near-duplicates and may miss one.
+  auto must_find = BruteForceSimilarPairs(matrix, 0.65);
+  ASSERT_TRUE(must_find.ok());
+  auto must_find_hlsh = BruteForceSimilarPairs(matrix, 0.9);
+  ASSERT_TRUE(must_find_hlsh.ok());
+
+  std::vector<std::unique_ptr<Miner>> miners;
+  {
+    MhMinerConfig config;
+    config.min_hash.num_hashes = 150;
+    config.min_hash.seed = seed;
+    config.delta = 0.4;
+    miners.push_back(std::make_unique<MhMiner>(config));
+  }
+  {
+    KmhMinerConfig config;
+    config.sketch.k = 150;
+    config.sketch.seed = seed + 1;
+    config.hash_count_slack = 0.3;
+    config.delta = 0.4;
+    miners.push_back(std::make_unique<KmhMiner>(config));
+  }
+  {
+    MlshMinerConfig config;
+    config.lsh.rows_per_band = 3;
+    config.lsh.num_bands = 40;
+    config.seed = seed + 2;
+    miners.push_back(std::make_unique<MlshMiner>(config));
+  }
+  {
+    HlshMinerConfig config;
+    config.lsh.rows_per_run = 8;
+    config.lsh.num_runs = 10;
+    config.lsh.min_rows = 8;
+    config.lsh.seed = seed + 3;
+    miners.push_back(std::make_unique<HlshMiner>(config));
+  }
+
+  for (auto& miner : miners) {
+    auto report = miner->Mine(source, threshold);
+    ASSERT_TRUE(report.ok()) << miner->name() << " seed " << seed;
+    // (a) + (b): exact similarities, no false positives.
+    for (const SimilarPair& p : report->pairs) {
+      EXPECT_DOUBLE_EQ(
+          p.similarity,
+          matrix.Similarity(p.pair.first, p.pair.second))
+          << miner->name();
+      EXPECT_GE(p.similarity, threshold) << miner->name();
+    }
+    // (c): recall of comfortable pairs.
+    const bool is_hlsh = miner->name() == "H-LSH";
+    const std::vector<SimilarPair>& required =
+        is_hlsh ? *must_find_hlsh : *must_find;
+    int misses = 0;
+    for (const SimilarPair& expected : required) {
+      bool found = false;
+      for (const SimilarPair& p : report->pairs) {
+        if (p.pair == expected.pair) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) ++misses;
+    }
+    EXPECT_LE(misses, is_hlsh ? 1 : 0)
+        << miner->name() << " seed " << seed << " missed " << misses
+        << " of " << required.size() << " required pairs";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinerStressTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace sans

@@ -1,0 +1,108 @@
+#include "util/bounded_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sans {
+namespace {
+
+TEST(BoundedMaxHeapTest, KeepsSmallestValues) {
+  BoundedMaxHeap<int> heap(3);
+  for (int v : {9, 1, 8, 2, 7, 3}) heap.Offer(v);
+  EXPECT_EQ(heap.SortedValues(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(BoundedMaxHeapTest, OfferReturnsWhetherHeapChanged) {
+  BoundedMaxHeap<int> heap(2);
+  EXPECT_TRUE(heap.Offer(5));
+  EXPECT_TRUE(heap.Offer(3));
+  EXPECT_FALSE(heap.Offer(9));  // not smaller than current max
+  EXPECT_TRUE(heap.Offer(1));   // evicts 5
+  EXPECT_EQ(heap.SortedValues(), (std::vector<int>{1, 3}));
+}
+
+TEST(BoundedMaxHeapTest, MaxTracksLargestRetained) {
+  BoundedMaxHeap<int> heap(3);
+  heap.Offer(4);
+  EXPECT_EQ(heap.Max(), 4);
+  heap.Offer(10);
+  EXPECT_EQ(heap.Max(), 10);
+  heap.Offer(1);
+  EXPECT_EQ(heap.Max(), 10);
+  heap.Offer(2);  // full: evicts 10
+  EXPECT_EQ(heap.Max(), 4);
+}
+
+TEST(BoundedMaxHeapTest, WouldAdmitMatchesOfferBehaviour) {
+  BoundedMaxHeap<int> heap(2);
+  EXPECT_TRUE(heap.WouldAdmit(100));  // not yet full
+  heap.Offer(10);
+  heap.Offer(20);
+  EXPECT_FALSE(heap.WouldAdmit(20));  // equal to max: rejected
+  EXPECT_FALSE(heap.WouldAdmit(25));
+  EXPECT_TRUE(heap.WouldAdmit(15));
+}
+
+TEST(BoundedMaxHeapTest, SizeCapacityEmptyFull) {
+  BoundedMaxHeap<int> heap(2);
+  EXPECT_TRUE(heap.empty());
+  EXPECT_FALSE(heap.full());
+  EXPECT_EQ(heap.capacity(), 2u);
+  heap.Offer(1);
+  EXPECT_EQ(heap.size(), 1u);
+  heap.Offer(2);
+  EXPECT_TRUE(heap.full());
+}
+
+TEST(BoundedMaxHeapTest, DuplicatesAreKept) {
+  BoundedMaxHeap<int> heap(3);
+  heap.Offer(5);
+  heap.Offer(5);
+  heap.Offer(5);
+  heap.Offer(4);
+  EXPECT_EQ(heap.SortedValues(), (std::vector<int>{4, 5, 5}));
+}
+
+TEST(BoundedMaxHeapTest, TakeSortedValuesDrainsHeap) {
+  BoundedMaxHeap<int> heap(3);
+  heap.Offer(3);
+  heap.Offer(1);
+  EXPECT_EQ(heap.TakeSortedValues(), (std::vector<int>{1, 3}));
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(BoundedMaxHeapTest, ClearResets) {
+  BoundedMaxHeap<int> heap(2);
+  heap.Offer(1);
+  heap.Clear();
+  EXPECT_TRUE(heap.empty());
+  heap.Offer(9);
+  EXPECT_EQ(heap.Max(), 9);
+}
+
+TEST(BoundedMaxHeapTest, MatchesFullSortReference) {
+  // Property: for random streams, the heap retains exactly the k
+  // smallest elements (multiset semantics).
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t k = 1 + rng.NextBounded(20);
+    BoundedMaxHeap<uint64_t> heap(k);
+    std::vector<uint64_t> reference;
+    const int n = 1 + static_cast<int>(rng.NextBounded(200));
+    for (int i = 0; i < n; ++i) {
+      const uint64_t v = rng.NextBounded(1000);
+      heap.Offer(v);
+      reference.push_back(v);
+    }
+    std::sort(reference.begin(), reference.end());
+    reference.resize(std::min(k, reference.size()));
+    EXPECT_EQ(heap.TakeSortedValues(), reference);
+  }
+}
+
+}  // namespace
+}  // namespace sans

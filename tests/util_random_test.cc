@@ -1,0 +1,162 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace sans {
+namespace {
+
+TEST(Xoshiro256Test, DeterministicFromSeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiverge) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(8);
+  int diffs = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() != b.NextU64()) ++diffs;
+  }
+  EXPECT_EQ(diffs, 100);
+}
+
+TEST(Xoshiro256Test, NextBoundedStaysInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(Xoshiro256Test, NextBoundedIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  const uint64_t buckets = 10;
+  const int draws = 100'000;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.NextBounded(buckets)];
+  }
+  for (uint64_t b = 0; b < buckets; ++b) {
+    EXPECT_NEAR(counts[b], draws / 10, 600);
+  }
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Xoshiro256Test, NextBernoulliMatchesProbability) {
+  Xoshiro256 rng(9);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100'000.0, 0.3, 0.01);
+}
+
+TEST(Xoshiro256Test, NextInRangeInclusive) {
+  Xoshiro256 rng(2);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const int64_t x = rng.NextInRange(-3, 3);
+    ASSERT_GE(x, -3);
+    ASSERT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256Test, ShufflePreservesElements) {
+  Xoshiro256 rng(4);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to match
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Xoshiro256Test, ZipfFavorsSmallRanks) {
+  Xoshiro256 rng(6);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50'000; ++i) {
+    ++counts[rng.NextZipf(1000, 1.0)];
+  }
+  // Rank 0 should dominate rank 99 by roughly 100x at exponent 1.
+  EXPECT_GT(counts[0], 20 * std::max(counts[99], 1));
+  // All draws in range.
+  for (const auto& [k, v] : counts) {
+    EXPECT_LT(k, 1000u);
+  }
+}
+
+TEST(Xoshiro256Test, ZipfHandlesExponentNearOne) {
+  Xoshiro256 rng(61);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextZipf(50, 1.0), 50u);
+    EXPECT_LT(rng.NextZipf(50, 0.5), 50u);
+    EXPECT_LT(rng.NextZipf(50, 2.0), 50u);
+  }
+}
+
+TEST(Xoshiro256Test, SampleWithoutReplacementIsDistinctAndSorted) {
+  Xoshiro256 rng(8);
+  for (uint64_t count : {0ull, 1ull, 10ull, 99ull, 100ull}) {
+    const std::vector<uint64_t> sample =
+        rng.SampleWithoutReplacement(100, count);
+    ASSERT_EQ(sample.size(), count);
+    for (size_t i = 1; i < sample.size(); ++i) {
+      ASSERT_LT(sample[i - 1], sample[i]);  // sorted and distinct
+    }
+    for (uint64_t v : sample) {
+      ASSERT_LT(v, 100u);
+    }
+  }
+}
+
+TEST(Xoshiro256Test, SampleWithoutReplacementCoversPopulation) {
+  Xoshiro256 rng(12);
+  // Full sample must be the identity set.
+  const std::vector<uint64_t> all = rng.SampleWithoutReplacement(50, 50);
+  for (uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(all[i], i);
+  }
+}
+
+TEST(Xoshiro256Test, SparseSampleIsUnbiased) {
+  // Each element of [0,100) should appear in a 10-element sample with
+  // probability 1/10.
+  std::vector<int> hits(100, 0);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    Xoshiro256 rng(1000 + trial);
+    for (uint64_t v : rng.SampleWithoutReplacement(100, 10)) {
+      ++hits[v];
+    }
+  }
+  for (int v = 0; v < 100; ++v) {
+    EXPECT_NEAR(hits[v], 2000, 300) << "element " << v;
+  }
+}
+
+}  // namespace
+}  // namespace sans

@@ -1,0 +1,75 @@
+#include "util/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace sans {
+namespace {
+
+TEST(UnionFindTest, StartsFullyDisconnected) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.size(), 5u);
+  EXPECT_EQ(uf.num_components(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+  }
+  EXPECT_FALSE(uf.Connected(0, 1));
+}
+
+TEST(UnionFindTest, UnionMergesComponents) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_EQ(uf.num_components(), 3u);
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_EQ(uf.num_components(), 3u);
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_TRUE(uf.Union(0, 3));
+  EXPECT_TRUE(uf.Connected(1, 2));
+  EXPECT_EQ(uf.num_components(), 1u);
+}
+
+TEST(UnionFindTest, TransitivityOnChains) {
+  UnionFind uf(100);
+  for (size_t i = 0; i + 1 < 100; ++i) {
+    uf.Union(i, i + 1);
+  }
+  EXPECT_EQ(uf.num_components(), 1u);
+  EXPECT_TRUE(uf.Connected(0, 99));
+}
+
+TEST(UnionFindTest, MatchesNaiveLabelsOnRandomOperations) {
+  Xoshiro256 rng(3);
+  const size_t n = 60;
+  UnionFind uf(n);
+  // Naive reference: label array with full relabel on merge.
+  std::vector<size_t> label(n);
+  for (size_t i = 0; i < n; ++i) label[i] = i;
+  for (int op = 0; op < 300; ++op) {
+    const size_t a = rng.NextBounded(n);
+    const size_t b = rng.NextBounded(n);
+    if (rng.NextBernoulli(0.5)) {
+      uf.Union(a, b);
+      const size_t from = label[b];
+      const size_t to = label[a];
+      if (from != to) {
+        for (size_t i = 0; i < n; ++i) {
+          if (label[i] == from) label[i] = to;
+        }
+      }
+    } else {
+      EXPECT_EQ(uf.Connected(a, b), label[a] == label[b])
+          << "op " << op << " (" << a << ", " << b << ")";
+    }
+  }
+  // Final component counts agree.
+  std::vector<size_t> distinct(label);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  EXPECT_EQ(uf.num_components(), distinct.size());
+}
+
+}  // namespace
+}  // namespace sans

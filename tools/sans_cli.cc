@@ -1,0 +1,470 @@
+// sans — command-line driver for the library.
+//
+// Subcommands:
+//   generate   synthesize a dataset and write it as a table file
+//   mine       find similar column pairs in a table file
+//   rules      find high-confidence directed rules (Section 6)
+//   exclusions find anticorrelated pairs (Section 7)
+//   truth      brute-force exact similar pairs (ground truth)
+//   stats      print table shape / density / similarity histogram
+//   convert    convert between binary table files and text transactions
+//   sketch     persist a bottom-k sketch of a table
+//   pairs      mine similar pairs from a persisted sketch (no table
+//              rescan; estimates only, no exact verification)
+//
+// Examples:
+//   sans generate --kind weblog --out log.sans --seed 7
+//   sans mine --in log.sans --algorithm mlsh --threshold 0.7 --r 5 --l 20
+//   sans rules --in corpus.sans --threshold 0.95 --k 200
+//   sans truth --in log.sans --threshold 0.7
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "data/dataset_io.h"
+#include "data/news_generator.h"
+#include "data/synthetic_generator.h"
+#include "data/weblog_generator.h"
+#include "lsh/distribution_estimator.h"
+#include "matrix/table_file.h"
+#include "mine/anticorrelation.h"
+#include "mine/brute_force.h"
+#include "mine/confidence_miner.h"
+#include "mine/hlsh_miner.h"
+#include "mine/kmh_miner.h"
+#include "candgen/hash_count.h"
+#include "mine/clustering.h"
+#include "mine/disjunction_miner.h"
+#include "mine/mh_miner.h"
+#include "mine/miner.h"
+#include "mine/mlsh_miner.h"
+#include "sketch/estimators.h"
+#include "sketch/sketch_io.h"
+#include "util/status.h"
+
+namespace sans::cli {
+namespace {
+
+/// Minimal --flag value parser; flags may appear in any order.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::string Require(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sans <command> [--flag value ...]\n"
+      "commands:\n"
+      "  generate  --kind synthetic|weblog|news --out FILE [--rows N]\n"
+      "            [--cols N] [--seed S]\n"
+      "  mine      --in FILE --algorithm mh|kmh|mlsh|hlsh|auto\n"
+      "            [--threshold S] [--k K] [--r R] [--l L] [--seed S]\n"
+      "  rules     --in FILE [--threshold C] [--k K] [--seed S]\n"
+      "  exclusions --in FILE [--support F] [--max-lift F]\n"
+      "  truth     --in FILE [--threshold S]\n"
+      "  stats     --in FILE\n"
+      "  convert   --in FILE --out FILE (format by extension: .sans\n"
+      "            binary, anything else text transactions)\n"
+      "  sketch    --in FILE --out FILE [--k K] [--seed S]\n"
+      "  pairs     --sketch FILE [--threshold S]\n"
+      "  clusters  --in FILE [--threshold S] [--min-size N]\n"
+      "            [--min-cohesion F]\n"
+      "  disjunctions --in FILE [--threshold S] [--k K]\n");
+  return 2;
+}
+
+Result<BinaryMatrix> LoadInput(const std::string& path) {
+  if (path.size() >= 5 && path.substr(path.size() - 5) == ".sans") {
+    return ReadTableFile(path);
+  }
+  return LoadTransactions(path);
+}
+
+Status SaveOutput(const BinaryMatrix& matrix, const std::string& path) {
+  if (path.size() >= 5 && path.substr(path.size() - 5) == ".sans") {
+    return WriteTableFile(matrix, path);
+  }
+  return SaveTransactions(matrix, path);
+}
+
+int RunGenerate(const Args& args) {
+  const std::string kind = args.GetString("kind", "synthetic");
+  const std::string out = args.Require("out");
+  const uint64_t seed = args.GetInt("seed", 0);
+  Result<BinaryMatrix> matrix = Status::Unimplemented("");
+  if (kind == "synthetic") {
+    SyntheticConfig config;
+    config.num_rows = static_cast<RowId>(args.GetInt("rows", 10'000));
+    config.num_cols = static_cast<ColumnId>(args.GetInt("cols", 10'000));
+    config.seed = seed;
+    auto dataset = GenerateSynthetic(config);
+    if (!dataset.ok()) return Fail(dataset.status());
+    std::printf("planted %zu similar pairs\n", dataset->planted.size());
+    matrix = std::move(dataset->matrix);
+  } else if (kind == "weblog") {
+    WeblogConfig config;
+    config.num_clients = static_cast<RowId>(args.GetInt("rows", 200'000));
+    config.num_urls = static_cast<ColumnId>(args.GetInt("cols", 13'000));
+    config.num_bundles = static_cast<int>(args.GetInt("bundles", 400));
+    config.seed = seed;
+    auto dataset = GenerateWeblog(config);
+    if (!dataset.ok()) return Fail(dataset.status());
+    std::printf("planted %zu url bundles\n", dataset->bundles.size());
+    matrix = std::move(dataset->matrix);
+  } else if (kind == "news") {
+    NewsConfig config;
+    config.num_docs = static_cast<RowId>(args.GetInt("rows", 40'000));
+    config.vocab_size = static_cast<ColumnId>(args.GetInt("cols", 8'000));
+    config.seed = seed;
+    auto dataset = GenerateNews(config);
+    if (!dataset.ok()) return Fail(dataset.status());
+    std::printf("planted %zu collocations, %zu clusters\n",
+                dataset->collocations.size(), dataset->clusters.size());
+    matrix = std::move(dataset->matrix);
+  } else {
+    std::fprintf(stderr, "unknown --kind '%s'\n", kind.c_str());
+    return 2;
+  }
+  const Status s = SaveOutput(*matrix, out);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s: %u rows x %u cols, %llu ones\n", out.c_str(),
+              matrix->num_rows(), matrix->num_cols(),
+              static_cast<unsigned long long>(matrix->num_ones()));
+  return 0;
+}
+
+int PrintPairs(const MiningReport& report) {
+  std::printf("# %zu pairs, %llu candidates, %.3fs (%s)\n",
+              report.pairs.size(),
+              static_cast<unsigned long long>(report.num_candidates),
+              report.TotalSeconds(), report.timers.ToString().c_str());
+  for (const SimilarPair& p : report.pairs) {
+    std::printf("%u\t%u\t%.6f\n", p.pair.first, p.pair.second,
+                p.similarity);
+  }
+  return 0;
+}
+
+int RunMine(const Args& args) {
+  auto matrix = LoadInput(args.Require("in"));
+  if (!matrix.ok()) return Fail(matrix.status());
+  InMemorySource source(&matrix.value());
+  const double threshold = args.GetDouble("threshold", 0.5);
+  const uint64_t seed = args.GetInt("seed", 0);
+  const std::string algorithm = args.GetString("algorithm", "mlsh");
+
+  Result<MiningReport> report = Status::Unimplemented("");
+  if (algorithm == "mh") {
+    MhMinerConfig config;
+    config.min_hash.num_hashes = static_cast<int>(args.GetInt("k", 100));
+    config.min_hash.seed = seed;
+    config.delta = args.GetDouble("delta", 0.25);
+    MhMiner miner(config);
+    report = miner.Mine(source, threshold);
+  } else if (algorithm == "kmh") {
+    KmhMinerConfig config;
+    config.sketch.k = static_cast<int>(args.GetInt("k", 100));
+    config.sketch.seed = seed;
+    config.delta = args.GetDouble("delta", 0.25);
+    KmhMiner miner(config);
+    report = miner.Mine(source, threshold);
+  } else if (algorithm == "mlsh") {
+    MlshMinerConfig config;
+    config.lsh.rows_per_band = static_cast<int>(args.GetInt("r", 5));
+    config.lsh.num_bands = static_cast<int>(args.GetInt("l", 20));
+    config.seed = seed;
+    MlshMiner miner(config);
+    report = miner.Mine(source, threshold);
+  } else if (algorithm == "hlsh") {
+    HlshMinerConfig config;
+    config.lsh.rows_per_run = static_cast<int>(args.GetInt("r", 12));
+    config.lsh.num_runs = static_cast<int>(args.GetInt("l", 4));
+    config.lsh.seed = seed;
+    HlshMiner miner(config);
+    report = miner.Mine(source, threshold);
+  } else if (algorithm == "auto") {
+    // Section 4.1 input-sensitive mode: estimate the similarity
+    // distribution (column sample for the low mass, min-hash sketch
+    // for the high tail) and optimize (r, l).
+    DistributionEstimatorOptions est;
+    est.sample_columns = static_cast<ColumnId>(args.GetInt("sample", 500));
+    est.seed = seed;
+    auto low = EstimateSimilarityDistribution(*matrix, est);
+    if (!low.ok()) return Fail(low.status());
+    SketchDistributionOptions sketch_est;
+    sketch_est.seed = seed + 1;
+    auto high = EstimateSimilarityDistributionSketch(*matrix, sketch_est);
+    if (!high.ok()) return Fail(high.status());
+    const SimilarityDistribution distr =
+        MergeDistributions(*low, *high, 0.25);
+    LshOptimizerOptions opt;
+    opt.s0 = threshold;
+    opt.max_false_negatives = args.GetDouble("max-fn", 5.0);
+    opt.max_false_positives = args.GetDouble("max-fp", 1e6);
+    auto miner = MlshMiner::FromDistribution(distr, opt,
+                                             HashFamily::kSplitMix64, seed);
+    if (!miner.ok()) return Fail(miner.status());
+    std::fprintf(stderr, "auto-selected r=%d l=%d\n",
+                 miner->config().lsh.rows_per_band,
+                 miner->config().lsh.num_bands);
+    report = miner->Mine(source, threshold);
+  } else {
+    std::fprintf(stderr, "unknown --algorithm '%s'\n", algorithm.c_str());
+    return 2;
+  }
+  if (!report.ok()) return Fail(report.status());
+  return PrintPairs(*report);
+}
+
+int RunRules(const Args& args) {
+  auto matrix = LoadInput(args.Require("in"));
+  if (!matrix.ok()) return Fail(matrix.status());
+  InMemorySource source(&matrix.value());
+  ConfidenceMinerConfig config;
+  config.min_hash.num_hashes = static_cast<int>(args.GetInt("k", 150));
+  config.min_hash.seed = args.GetInt("seed", 0);
+  ConfidenceMiner miner(config);
+  auto report = miner.Mine(source, args.GetDouble("threshold", 0.9));
+  if (!report.ok()) return Fail(report.status());
+  std::printf("# %zu rules, %llu candidates, %.3fs\n",
+              report->rules.size(),
+              static_cast<unsigned long long>(report->num_candidates),
+              report->timers.GrandTotal());
+  for (const ConfidenceRule& rule : report->rules) {
+    std::printf("%u\t=>\t%u\t%.6f\n", rule.antecedent, rule.consequent,
+                rule.confidence);
+  }
+  return 0;
+}
+
+int RunExclusions(const Args& args) {
+  auto matrix = LoadInput(args.Require("in"));
+  if (!matrix.ok()) return Fail(matrix.status());
+  AnticorrelationConfig config;
+  config.min_support = args.GetDouble("support", 0.05);
+  config.max_lift = args.GetDouble("max-lift", 0.2);
+  auto result = MineAnticorrelated(*matrix, config);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("# %zu anticorrelated pairs\n", result->size());
+  for (const AnticorrelatedPair& p : *result) {
+    std::printf("%u\t%u\tinter=%llu\texpected=%.1f\tlift=%.4f\n",
+                p.pair.first, p.pair.second,
+                static_cast<unsigned long long>(p.intersection),
+                p.expected_intersection, p.lift);
+  }
+  return 0;
+}
+
+int RunTruth(const Args& args) {
+  auto matrix = LoadInput(args.Require("in"));
+  if (!matrix.ok()) return Fail(matrix.status());
+  auto pairs =
+      BruteForceSimilarPairs(*matrix, args.GetDouble("threshold", 0.5));
+  if (!pairs.ok()) return Fail(pairs.status());
+  std::printf("# %zu pairs (exact)\n", pairs->size());
+  for (const SimilarPair& p : *pairs) {
+    std::printf("%u\t%u\t%.6f\n", p.pair.first, p.pair.second,
+                p.similarity);
+  }
+  return 0;
+}
+
+int RunStats(const Args& args) {
+  auto matrix = LoadInput(args.Require("in"));
+  if (!matrix.ok()) return Fail(matrix.status());
+  std::printf("rows: %u\ncols: %u\nones: %llu\n", matrix->num_rows(),
+              matrix->num_cols(),
+              static_cast<unsigned long long>(matrix->num_ones()));
+  if (matrix->num_rows() == 0 || matrix->num_cols() == 0) return 0;
+  double density_sum = 0.0;
+  uint64_t empty = 0;
+  for (ColumnId c = 0; c < matrix->num_cols(); ++c) {
+    density_sum += matrix->ColumnDensity(c);
+    if (matrix->ColumnCardinality(c) == 0) ++empty;
+  }
+  std::printf("mean column density: %.6f\nempty columns: %llu\n",
+              density_sum / matrix->num_cols(),
+              static_cast<unsigned long long>(empty));
+  return 0;
+}
+
+int RunClusters(const Args& args) {
+  auto matrix = LoadInput(args.Require("in"));
+  if (!matrix.ok()) return Fail(matrix.status());
+  InMemorySource source(&matrix.value());
+  const double threshold = args.GetDouble("threshold", 0.5);
+  // Mine pairs with K-MH, then extract cohesive clusters.
+  KmhMinerConfig miner_config;
+  miner_config.sketch.k = static_cast<int>(args.GetInt("k", 120));
+  miner_config.sketch.seed = args.GetInt("seed", 0);
+  miner_config.hash_count_slack = 0.4;
+  KmhMiner miner(miner_config);
+  auto report = miner.Mine(source, threshold);
+  if (!report.ok()) return Fail(report.status());
+
+  ClusteringOptions options;
+  options.min_similarity = threshold;
+  options.min_cluster_size =
+      static_cast<int>(args.GetInt("min-size", 3));
+  options.min_cohesion = args.GetDouble("min-cohesion", 0.5);
+  auto clusters =
+      ExtractClusters(report->pairs, matrix->num_cols(), options);
+  if (!clusters.ok()) return Fail(clusters.status());
+  std::printf("# %zu clusters (from %zu similar pairs)\n",
+              clusters->size(), report->pairs.size());
+  for (const SimilarityCluster& cluster : *clusters) {
+    std::printf("cohesion=%.2f members:", cluster.cohesion);
+    for (ColumnId c : cluster.members) std::printf(" %u", c);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int RunDisjunctions(const Args& args) {
+  auto matrix = LoadInput(args.Require("in"));
+  if (!matrix.ok()) return Fail(matrix.status());
+  DisjunctionMinerConfig config;
+  config.min_hash.num_hashes = static_cast<int>(args.GetInt("k", 120));
+  config.min_hash.seed = args.GetInt("seed", 0);
+  DisjunctionMiner miner(config);
+  auto report = miner.Mine(*matrix, args.GetDouble("threshold", 0.6));
+  if (!report.ok()) return Fail(report.status());
+  std::printf("# %zu disjunction rules (%llu candidates)\n",
+              report->rules.size(),
+              static_cast<unsigned long long>(report->num_candidates));
+  for (const DisjunctionRule& rule : report->rules) {
+    std::printf("%u ~ %u|%u\tS=%.4f\t(pairs %.4f / %.4f)\n",
+                rule.target, rule.disjunct_a, rule.disjunct_b,
+                rule.similarity, rule.pair_similarity_a,
+                rule.pair_similarity_b);
+  }
+  return 0;
+}
+
+int RunSketch(const Args& args) {
+  auto matrix = LoadInput(args.Require("in"));
+  if (!matrix.ok()) return Fail(matrix.status());
+  KMinHashConfig config;
+  config.k = static_cast<int>(args.GetInt("k", 100));
+  config.seed = args.GetInt("seed", 0);
+  KMinHashGenerator generator(config);
+  InMemoryRowStream stream(&matrix.value());
+  auto sketch = generator.Compute(&stream);
+  if (!sketch.ok()) return Fail(sketch.status());
+  const std::string out = args.Require("out");
+  if (const Status s = WriteKMinHashSketch(*sketch, out); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("wrote %s: k=%d, %u columns, %llu stored values\n",
+              out.c_str(), sketch->k(), sketch->num_cols(),
+              static_cast<unsigned long long>(
+                  sketch->TotalSignatureSize()));
+  return 0;
+}
+
+int RunPairsFromSketch(const Args& args) {
+  auto sketch = ReadKMinHashSketch(args.Require("sketch"));
+  if (!sketch.ok()) return Fail(sketch.status());
+  const double threshold = args.GetDouble("threshold", 0.5);
+  if (threshold <= 0.0 || threshold > 1.0) {
+    std::fprintf(stderr, "threshold must lie in (0, 1]\n");
+    return 2;
+  }
+  // Hash-count over the sketch, then the unbiased estimator — phase 2
+  // only, no table available for exact verification.
+  const CandidateSet candidates =
+      HashCountKMinHashAdaptive(*sketch, 0.5 * threshold);
+  std::vector<SimilarPair> pairs;
+  for (const auto& [pair, count] : candidates) {
+    const double estimate = EstimateSimilarityUnbiased(
+        sketch->Signature(pair.first), sketch->Signature(pair.second),
+        sketch->k());
+    if (estimate >= threshold) {
+      pairs.push_back(SimilarPair{pair, estimate});
+    }
+  }
+  SortPairs(&pairs);
+  std::printf("# %zu pairs (ESTIMATED similarities; verify against the "
+              "table for exact values)\n",
+              pairs.size());
+  for (const SimilarPair& p : pairs) {
+    std::printf("%u\t%u\t%.6f\n", p.pair.first, p.pair.second,
+                p.similarity);
+  }
+  return 0;
+}
+
+int RunConvert(const Args& args) {
+  auto matrix = LoadInput(args.Require("in"));
+  if (!matrix.ok()) return Fail(matrix.status());
+  const Status s = SaveOutput(*matrix, args.Require("out"));
+  if (!s.ok()) return Fail(s);
+  std::printf("converted: %u rows x %u cols\n", matrix->num_rows(),
+              matrix->num_cols());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (command == "generate") return RunGenerate(args);
+  if (command == "mine") return RunMine(args);
+  if (command == "rules") return RunRules(args);
+  if (command == "exclusions") return RunExclusions(args);
+  if (command == "truth") return RunTruth(args);
+  if (command == "stats") return RunStats(args);
+  if (command == "convert") return RunConvert(args);
+  if (command == "sketch") return RunSketch(args);
+  if (command == "pairs") return RunPairsFromSketch(args);
+  if (command == "clusters") return RunClusters(args);
+  if (command == "disjunctions") return RunDisjunctions(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace sans::cli
+
+int main(int argc, char** argv) { return sans::cli::Main(argc, argv); }
