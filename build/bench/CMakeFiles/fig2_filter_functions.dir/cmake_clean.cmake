@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_filter_functions.dir/fig2_filter_functions.cc.o"
+  "CMakeFiles/fig2_filter_functions.dir/fig2_filter_functions.cc.o.d"
+  "fig2_filter_functions"
+  "fig2_filter_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_filter_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mh.dir/fig5_mh.cc.o"
+  "CMakeFiles/fig5_mh.dir/fig5_mh.cc.o.d"
+  "fig5_mh"
+  "fig5_mh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_kmh.dir/fig6_kmh.cc.o"
+  "CMakeFiles/fig6_kmh.dir/fig6_kmh.cc.o.d"
+  "fig6_kmh"
+  "fig6_kmh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_kmh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_hlsh.dir/fig7_hlsh.cc.o"
+  "CMakeFiles/fig7_hlsh.dir/fig7_hlsh.cc.o.d"
+  "fig7_hlsh"
+  "fig7_hlsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_hlsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

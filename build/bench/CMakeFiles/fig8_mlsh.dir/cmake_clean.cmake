@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_mlsh.dir/fig8_mlsh.cc.o"
+  "CMakeFiles/fig8_mlsh.dir/fig8_mlsh.cc.o.d"
+  "fig8_mlsh"
+  "fig8_mlsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mlsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_comparison.dir/fig9_comparison.cc.o"
+  "CMakeFiles/fig9_comparison.dir/fig9_comparison.cc.o.d"
+  "fig9_comparison"
+  "fig9_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_candgen.dir/micro_candgen.cc.o"
+  "CMakeFiles/micro_candgen.dir/micro_candgen.cc.o.d"
+  "micro_candgen"
+  "micro_candgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_candgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

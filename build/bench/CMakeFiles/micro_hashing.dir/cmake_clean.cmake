@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hashing.dir/micro_hashing.cc.o"
+  "CMakeFiles/micro_hashing.dir/micro_hashing.cc.o.d"
+  "micro_hashing"
+  "micro_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_parallel.dir/micro_parallel.cc.o"
+  "CMakeFiles/micro_parallel.dir/micro_parallel.cc.o.d"
+  "micro_parallel"
+  "micro_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_validation.dir/synthetic_validation.cc.o"
+  "CMakeFiles/synthetic_validation.dir/synthetic_validation.cc.o.d"
+  "synthetic_validation"
+  "synthetic_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

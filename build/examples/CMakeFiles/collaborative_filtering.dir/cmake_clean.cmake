@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_filtering.dir/collaborative_filtering.cpp.o"
+  "CMakeFiles/collaborative_filtering.dir/collaborative_filtering.cpp.o.d"
+  "collaborative_filtering"
+  "collaborative_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

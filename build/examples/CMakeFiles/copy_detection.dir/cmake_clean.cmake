@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copy_detection.dir/copy_detection.cpp.o"
+  "CMakeFiles/copy_detection.dir/copy_detection.cpp.o.d"
+  "copy_detection"
+  "copy_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copy_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_associations.dir/news_associations.cpp.o"
+  "CMakeFiles/news_associations.dir/news_associations.cpp.o.d"
+  "news_associations"
+  "news_associations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_associations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

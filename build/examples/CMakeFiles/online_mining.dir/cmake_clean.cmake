@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_mining.dir/online_mining.cpp.o"
+  "CMakeFiles/online_mining.dir/online_mining.cpp.o.d"
+  "online_mining"
+  "online_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblog_similarity.dir/weblog_similarity.cpp.o"
+  "CMakeFiles/weblog_similarity.dir/weblog_similarity.cpp.o.d"
+  "weblog_similarity"
+  "weblog_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblog_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

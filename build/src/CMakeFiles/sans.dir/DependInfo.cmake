@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/candgen/candidate_set.cc" "src/CMakeFiles/sans.dir/candgen/candidate_set.cc.o" "gcc" "src/CMakeFiles/sans.dir/candgen/candidate_set.cc.o.d"
+  "/root/repo/src/candgen/hamming_lsh.cc" "src/CMakeFiles/sans.dir/candgen/hamming_lsh.cc.o" "gcc" "src/CMakeFiles/sans.dir/candgen/hamming_lsh.cc.o.d"
+  "/root/repo/src/candgen/hash_count.cc" "src/CMakeFiles/sans.dir/candgen/hash_count.cc.o" "gcc" "src/CMakeFiles/sans.dir/candgen/hash_count.cc.o.d"
+  "/root/repo/src/candgen/min_lsh.cc" "src/CMakeFiles/sans.dir/candgen/min_lsh.cc.o" "gcc" "src/CMakeFiles/sans.dir/candgen/min_lsh.cc.o.d"
+  "/root/repo/src/candgen/row_sort.cc" "src/CMakeFiles/sans.dir/candgen/row_sort.cc.o" "gcc" "src/CMakeFiles/sans.dir/candgen/row_sort.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/CMakeFiles/sans.dir/data/dataset_io.cc.o" "gcc" "src/CMakeFiles/sans.dir/data/dataset_io.cc.o.d"
+  "/root/repo/src/data/news_generator.cc" "src/CMakeFiles/sans.dir/data/news_generator.cc.o" "gcc" "src/CMakeFiles/sans.dir/data/news_generator.cc.o.d"
+  "/root/repo/src/data/shingling.cc" "src/CMakeFiles/sans.dir/data/shingling.cc.o" "gcc" "src/CMakeFiles/sans.dir/data/shingling.cc.o.d"
+  "/root/repo/src/data/synthetic_generator.cc" "src/CMakeFiles/sans.dir/data/synthetic_generator.cc.o" "gcc" "src/CMakeFiles/sans.dir/data/synthetic_generator.cc.o.d"
+  "/root/repo/src/data/weblog_generator.cc" "src/CMakeFiles/sans.dir/data/weblog_generator.cc.o" "gcc" "src/CMakeFiles/sans.dir/data/weblog_generator.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/sans.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/sans.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/scurve.cc" "src/CMakeFiles/sans.dir/eval/scurve.cc.o" "gcc" "src/CMakeFiles/sans.dir/eval/scurve.cc.o.d"
+  "/root/repo/src/eval/sweep.cc" "src/CMakeFiles/sans.dir/eval/sweep.cc.o" "gcc" "src/CMakeFiles/sans.dir/eval/sweep.cc.o.d"
+  "/root/repo/src/eval/table_printer.cc" "src/CMakeFiles/sans.dir/eval/table_printer.cc.o" "gcc" "src/CMakeFiles/sans.dir/eval/table_printer.cc.o.d"
+  "/root/repo/src/lsh/distribution_estimator.cc" "src/CMakeFiles/sans.dir/lsh/distribution_estimator.cc.o" "gcc" "src/CMakeFiles/sans.dir/lsh/distribution_estimator.cc.o.d"
+  "/root/repo/src/lsh/filter_functions.cc" "src/CMakeFiles/sans.dir/lsh/filter_functions.cc.o" "gcc" "src/CMakeFiles/sans.dir/lsh/filter_functions.cc.o.d"
+  "/root/repo/src/lsh/parameter_optimizer.cc" "src/CMakeFiles/sans.dir/lsh/parameter_optimizer.cc.o" "gcc" "src/CMakeFiles/sans.dir/lsh/parameter_optimizer.cc.o.d"
+  "/root/repo/src/matrix/binary_matrix.cc" "src/CMakeFiles/sans.dir/matrix/binary_matrix.cc.o" "gcc" "src/CMakeFiles/sans.dir/matrix/binary_matrix.cc.o.d"
+  "/root/repo/src/matrix/matrix_builder.cc" "src/CMakeFiles/sans.dir/matrix/matrix_builder.cc.o" "gcc" "src/CMakeFiles/sans.dir/matrix/matrix_builder.cc.o.d"
+  "/root/repo/src/matrix/or_fold.cc" "src/CMakeFiles/sans.dir/matrix/or_fold.cc.o" "gcc" "src/CMakeFiles/sans.dir/matrix/or_fold.cc.o.d"
+  "/root/repo/src/matrix/row_stream.cc" "src/CMakeFiles/sans.dir/matrix/row_stream.cc.o" "gcc" "src/CMakeFiles/sans.dir/matrix/row_stream.cc.o.d"
+  "/root/repo/src/matrix/table_file.cc" "src/CMakeFiles/sans.dir/matrix/table_file.cc.o" "gcc" "src/CMakeFiles/sans.dir/matrix/table_file.cc.o.d"
+  "/root/repo/src/mine/anticorrelation.cc" "src/CMakeFiles/sans.dir/mine/anticorrelation.cc.o" "gcc" "src/CMakeFiles/sans.dir/mine/anticorrelation.cc.o.d"
+  "/root/repo/src/mine/apriori.cc" "src/CMakeFiles/sans.dir/mine/apriori.cc.o" "gcc" "src/CMakeFiles/sans.dir/mine/apriori.cc.o.d"
+  "/root/repo/src/mine/boolean_extensions.cc" "src/CMakeFiles/sans.dir/mine/boolean_extensions.cc.o" "gcc" "src/CMakeFiles/sans.dir/mine/boolean_extensions.cc.o.d"
+  "/root/repo/src/mine/brute_force.cc" "src/CMakeFiles/sans.dir/mine/brute_force.cc.o" "gcc" "src/CMakeFiles/sans.dir/mine/brute_force.cc.o.d"
+  "/root/repo/src/mine/clustering.cc" "src/CMakeFiles/sans.dir/mine/clustering.cc.o" "gcc" "src/CMakeFiles/sans.dir/mine/clustering.cc.o.d"
+  "/root/repo/src/mine/confidence_miner.cc" "src/CMakeFiles/sans.dir/mine/confidence_miner.cc.o" "gcc" "src/CMakeFiles/sans.dir/mine/confidence_miner.cc.o.d"
+  "/root/repo/src/mine/disjunction_miner.cc" "src/CMakeFiles/sans.dir/mine/disjunction_miner.cc.o" "gcc" "src/CMakeFiles/sans.dir/mine/disjunction_miner.cc.o.d"
+  "/root/repo/src/mine/hlsh_miner.cc" "src/CMakeFiles/sans.dir/mine/hlsh_miner.cc.o" "gcc" "src/CMakeFiles/sans.dir/mine/hlsh_miner.cc.o.d"
+  "/root/repo/src/mine/kmh_miner.cc" "src/CMakeFiles/sans.dir/mine/kmh_miner.cc.o" "gcc" "src/CMakeFiles/sans.dir/mine/kmh_miner.cc.o.d"
+  "/root/repo/src/mine/mh_miner.cc" "src/CMakeFiles/sans.dir/mine/mh_miner.cc.o" "gcc" "src/CMakeFiles/sans.dir/mine/mh_miner.cc.o.d"
+  "/root/repo/src/mine/miner.cc" "src/CMakeFiles/sans.dir/mine/miner.cc.o" "gcc" "src/CMakeFiles/sans.dir/mine/miner.cc.o.d"
+  "/root/repo/src/mine/mlsh_miner.cc" "src/CMakeFiles/sans.dir/mine/mlsh_miner.cc.o" "gcc" "src/CMakeFiles/sans.dir/mine/mlsh_miner.cc.o.d"
+  "/root/repo/src/mine/online_mlsh.cc" "src/CMakeFiles/sans.dir/mine/online_mlsh.cc.o" "gcc" "src/CMakeFiles/sans.dir/mine/online_mlsh.cc.o.d"
+  "/root/repo/src/mine/parallel.cc" "src/CMakeFiles/sans.dir/mine/parallel.cc.o" "gcc" "src/CMakeFiles/sans.dir/mine/parallel.cc.o.d"
+  "/root/repo/src/mine/verifier.cc" "src/CMakeFiles/sans.dir/mine/verifier.cc.o" "gcc" "src/CMakeFiles/sans.dir/mine/verifier.cc.o.d"
+  "/root/repo/src/sketch/estimators.cc" "src/CMakeFiles/sans.dir/sketch/estimators.cc.o" "gcc" "src/CMakeFiles/sans.dir/sketch/estimators.cc.o.d"
+  "/root/repo/src/sketch/incremental.cc" "src/CMakeFiles/sans.dir/sketch/incremental.cc.o" "gcc" "src/CMakeFiles/sans.dir/sketch/incremental.cc.o.d"
+  "/root/repo/src/sketch/k_min_hash.cc" "src/CMakeFiles/sans.dir/sketch/k_min_hash.cc.o" "gcc" "src/CMakeFiles/sans.dir/sketch/k_min_hash.cc.o.d"
+  "/root/repo/src/sketch/min_hash.cc" "src/CMakeFiles/sans.dir/sketch/min_hash.cc.o" "gcc" "src/CMakeFiles/sans.dir/sketch/min_hash.cc.o.d"
+  "/root/repo/src/sketch/signature_matrix.cc" "src/CMakeFiles/sans.dir/sketch/signature_matrix.cc.o" "gcc" "src/CMakeFiles/sans.dir/sketch/signature_matrix.cc.o.d"
+  "/root/repo/src/sketch/sketch_io.cc" "src/CMakeFiles/sans.dir/sketch/sketch_io.cc.o" "gcc" "src/CMakeFiles/sans.dir/sketch/sketch_io.cc.o.d"
+  "/root/repo/src/util/hashing.cc" "src/CMakeFiles/sans.dir/util/hashing.cc.o" "gcc" "src/CMakeFiles/sans.dir/util/hashing.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/sans.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/sans.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/sans.dir/util/random.cc.o" "gcc" "src/CMakeFiles/sans.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/sans.dir/util/status.cc.o" "gcc" "src/CMakeFiles/sans.dir/util/status.cc.o.d"
+  "/root/repo/src/util/timer.cc" "src/CMakeFiles/sans.dir/util/timer.cc.o" "gcc" "src/CMakeFiles/sans.dir/util/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for sans.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candgen_candidate_set_test.dir/candgen_candidate_set_test.cc.o"
+  "CMakeFiles/candgen_candidate_set_test.dir/candgen_candidate_set_test.cc.o.d"
+  "candgen_candidate_set_test"
+  "candgen_candidate_set_test.pdb"
+  "candgen_candidate_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candgen_candidate_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

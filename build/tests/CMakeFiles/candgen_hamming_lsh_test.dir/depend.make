@@ -1,0 +1,2 @@
+# Empty dependencies file for candgen_hamming_lsh_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candgen_hash_count_test.dir/candgen_hash_count_test.cc.o"
+  "CMakeFiles/candgen_hash_count_test.dir/candgen_hash_count_test.cc.o.d"
+  "candgen_hash_count_test"
+  "candgen_hash_count_test.pdb"
+  "candgen_hash_count_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candgen_hash_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

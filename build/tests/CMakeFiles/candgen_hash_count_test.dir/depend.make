@@ -1,0 +1,2 @@
+# Empty dependencies file for candgen_hash_count_test.
+# This may be replaced when dependencies are built.

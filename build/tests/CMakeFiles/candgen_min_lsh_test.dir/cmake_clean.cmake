@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candgen_min_lsh_test.dir/candgen_min_lsh_test.cc.o"
+  "CMakeFiles/candgen_min_lsh_test.dir/candgen_min_lsh_test.cc.o.d"
+  "candgen_min_lsh_test"
+  "candgen_min_lsh_test.pdb"
+  "candgen_min_lsh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candgen_min_lsh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

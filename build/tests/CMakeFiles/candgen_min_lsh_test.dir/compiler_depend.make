@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for candgen_min_lsh_test.
+# This may be replaced when dependencies are built.

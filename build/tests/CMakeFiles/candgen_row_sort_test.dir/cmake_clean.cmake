@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candgen_row_sort_test.dir/candgen_row_sort_test.cc.o"
+  "CMakeFiles/candgen_row_sort_test.dir/candgen_row_sort_test.cc.o.d"
+  "candgen_row_sort_test"
+  "candgen_row_sort_test.pdb"
+  "candgen_row_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candgen_row_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsh_distribution_estimator_test.dir/lsh_distribution_estimator_test.cc.o"
+  "CMakeFiles/lsh_distribution_estimator_test.dir/lsh_distribution_estimator_test.cc.o.d"
+  "lsh_distribution_estimator_test"
+  "lsh_distribution_estimator_test.pdb"
+  "lsh_distribution_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsh_distribution_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

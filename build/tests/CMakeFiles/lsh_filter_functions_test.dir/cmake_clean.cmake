@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsh_filter_functions_test.dir/lsh_filter_functions_test.cc.o"
+  "CMakeFiles/lsh_filter_functions_test.dir/lsh_filter_functions_test.cc.o.d"
+  "lsh_filter_functions_test"
+  "lsh_filter_functions_test.pdb"
+  "lsh_filter_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsh_filter_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsh_parameter_optimizer_test.dir/lsh_parameter_optimizer_test.cc.o"
+  "CMakeFiles/lsh_parameter_optimizer_test.dir/lsh_parameter_optimizer_test.cc.o.d"
+  "lsh_parameter_optimizer_test"
+  "lsh_parameter_optimizer_test.pdb"
+  "lsh_parameter_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsh_parameter_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

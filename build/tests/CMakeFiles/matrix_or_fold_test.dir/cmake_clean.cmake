@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_or_fold_test.dir/matrix_or_fold_test.cc.o"
+  "CMakeFiles/matrix_or_fold_test.dir/matrix_or_fold_test.cc.o.d"
+  "matrix_or_fold_test"
+  "matrix_or_fold_test.pdb"
+  "matrix_or_fold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_or_fold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

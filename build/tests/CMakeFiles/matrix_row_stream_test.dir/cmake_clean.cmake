@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_row_stream_test.dir/matrix_row_stream_test.cc.o"
+  "CMakeFiles/matrix_row_stream_test.dir/matrix_row_stream_test.cc.o.d"
+  "matrix_row_stream_test"
+  "matrix_row_stream_test.pdb"
+  "matrix_row_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_row_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

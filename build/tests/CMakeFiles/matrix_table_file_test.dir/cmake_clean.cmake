@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_table_file_test.dir/matrix_table_file_test.cc.o"
+  "CMakeFiles/matrix_table_file_test.dir/matrix_table_file_test.cc.o.d"
+  "matrix_table_file_test"
+  "matrix_table_file_test.pdb"
+  "matrix_table_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_table_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

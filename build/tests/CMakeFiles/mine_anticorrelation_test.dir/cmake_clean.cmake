@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_anticorrelation_test.dir/mine_anticorrelation_test.cc.o"
+  "CMakeFiles/mine_anticorrelation_test.dir/mine_anticorrelation_test.cc.o.d"
+  "mine_anticorrelation_test"
+  "mine_anticorrelation_test.pdb"
+  "mine_anticorrelation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_anticorrelation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

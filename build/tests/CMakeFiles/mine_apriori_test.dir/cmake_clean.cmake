@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_apriori_test.dir/mine_apriori_test.cc.o"
+  "CMakeFiles/mine_apriori_test.dir/mine_apriori_test.cc.o.d"
+  "mine_apriori_test"
+  "mine_apriori_test.pdb"
+  "mine_apriori_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_apriori_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

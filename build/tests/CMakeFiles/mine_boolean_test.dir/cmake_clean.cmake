@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_boolean_test.dir/mine_boolean_test.cc.o"
+  "CMakeFiles/mine_boolean_test.dir/mine_boolean_test.cc.o.d"
+  "mine_boolean_test"
+  "mine_boolean_test.pdb"
+  "mine_boolean_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_boolean_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_brute_force_test.dir/mine_brute_force_test.cc.o"
+  "CMakeFiles/mine_brute_force_test.dir/mine_brute_force_test.cc.o.d"
+  "mine_brute_force_test"
+  "mine_brute_force_test.pdb"
+  "mine_brute_force_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_brute_force_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

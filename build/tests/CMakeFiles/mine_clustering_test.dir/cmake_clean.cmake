@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_clustering_test.dir/mine_clustering_test.cc.o"
+  "CMakeFiles/mine_clustering_test.dir/mine_clustering_test.cc.o.d"
+  "mine_clustering_test"
+  "mine_clustering_test.pdb"
+  "mine_clustering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_clustering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

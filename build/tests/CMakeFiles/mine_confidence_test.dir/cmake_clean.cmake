@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_confidence_test.dir/mine_confidence_test.cc.o"
+  "CMakeFiles/mine_confidence_test.dir/mine_confidence_test.cc.o.d"
+  "mine_confidence_test"
+  "mine_confidence_test.pdb"
+  "mine_confidence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_confidence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_disjunction_test.dir/mine_disjunction_test.cc.o"
+  "CMakeFiles/mine_disjunction_test.dir/mine_disjunction_test.cc.o.d"
+  "mine_disjunction_test"
+  "mine_disjunction_test.pdb"
+  "mine_disjunction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_disjunction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_miners_test.dir/mine_miners_test.cc.o"
+  "CMakeFiles/mine_miners_test.dir/mine_miners_test.cc.o.d"
+  "mine_miners_test"
+  "mine_miners_test.pdb"
+  "mine_miners_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_miners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_online_mlsh_test.dir/mine_online_mlsh_test.cc.o"
+  "CMakeFiles/mine_online_mlsh_test.dir/mine_online_mlsh_test.cc.o.d"
+  "mine_online_mlsh_test"
+  "mine_online_mlsh_test.pdb"
+  "mine_online_mlsh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_online_mlsh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

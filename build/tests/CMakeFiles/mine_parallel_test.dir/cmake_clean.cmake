@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_parallel_test.dir/mine_parallel_test.cc.o"
+  "CMakeFiles/mine_parallel_test.dir/mine_parallel_test.cc.o.d"
+  "mine_parallel_test"
+  "mine_parallel_test.pdb"
+  "mine_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_verifier_test.dir/mine_verifier_test.cc.o"
+  "CMakeFiles/mine_verifier_test.dir/mine_verifier_test.cc.o.d"
+  "mine_verifier_test"
+  "mine_verifier_test.pdb"
+  "mine_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_incremental_test.dir/sketch_incremental_test.cc.o"
+  "CMakeFiles/sketch_incremental_test.dir/sketch_incremental_test.cc.o.d"
+  "sketch_incremental_test"
+  "sketch_incremental_test.pdb"
+  "sketch_incremental_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_io_test.dir/sketch_io_test.cc.o"
+  "CMakeFiles/sketch_io_test.dir/sketch_io_test.cc.o.d"
+  "sketch_io_test"
+  "sketch_io_test.pdb"
+  "sketch_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_k_min_hash_test.dir/sketch_k_min_hash_test.cc.o"
+  "CMakeFiles/sketch_k_min_hash_test.dir/sketch_k_min_hash_test.cc.o.d"
+  "sketch_k_min_hash_test"
+  "sketch_k_min_hash_test.pdb"
+  "sketch_k_min_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_k_min_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_signature_matrix_test.dir/sketch_signature_matrix_test.cc.o"
+  "CMakeFiles/sketch_signature_matrix_test.dir/sketch_signature_matrix_test.cc.o.d"
+  "sketch_signature_matrix_test"
+  "sketch_signature_matrix_test.pdb"
+  "sketch_signature_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_signature_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

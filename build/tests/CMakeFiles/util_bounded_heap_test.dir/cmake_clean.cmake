@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_bounded_heap_test.dir/util_bounded_heap_test.cc.o"
+  "CMakeFiles/util_bounded_heap_test.dir/util_bounded_heap_test.cc.o.d"
+  "util_bounded_heap_test"
+  "util_bounded_heap_test.pdb"
+  "util_bounded_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_bounded_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

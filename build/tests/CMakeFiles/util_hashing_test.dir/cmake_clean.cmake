@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_hashing_test.dir/util_hashing_test.cc.o"
+  "CMakeFiles/util_hashing_test.dir/util_hashing_test.cc.o.d"
+  "util_hashing_test"
+  "util_hashing_test.pdb"
+  "util_hashing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_hashing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_union_find_test.dir/util_union_find_test.cc.o"
+  "CMakeFiles/util_union_find_test.dir/util_union_find_test.cc.o.d"
+  "util_union_find_test"
+  "util_union_find_test.pdb"
+  "util_union_find_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_union_find_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

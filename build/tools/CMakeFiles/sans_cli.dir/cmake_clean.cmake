@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sans_cli.dir/sans_cli.cc.o"
+  "CMakeFiles/sans_cli.dir/sans_cli.cc.o.d"
+  "sans"
+  "sans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sans_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
