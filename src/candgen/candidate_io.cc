@@ -1,0 +1,179 @@
+#include "candgen/candidate_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/crc32c.h"
+
+namespace sans {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+struct CrcFile {
+  std::FILE* f = nullptr;
+  uint32_t crc = 0;
+
+  Status Write(const void* data, size_t size) {
+    if (std::fwrite(data, 1, size, f) != size) {
+      return Status::IOError("short write");
+    }
+    crc = Crc32cExtend(crc, data, size);
+    return Status::OK();
+  }
+
+  Status Read(void* data, size_t size) {
+    if (std::fread(data, 1, size, f) != size) {
+      return Status::Corruption("short read");
+    }
+    crc = Crc32cExtend(crc, data, size);
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status WriteScalar(T value) {
+    return Write(&value, sizeof(value));
+  }
+
+  template <typename T>
+  Status ReadScalar(T* value) {
+    return Read(value, sizeof(*value));
+  }
+
+  Status WriteTrailer() {
+    const uint32_t masked = Crc32cMask(crc);
+    if (std::fwrite(&masked, sizeof(masked), 1, f) != 1) {
+      return Status::IOError("short write of crc trailer");
+    }
+    return Status::OK();
+  }
+
+  Status VerifyTrailer() {
+    const uint32_t expected = crc;
+    uint32_t masked = 0;
+    if (std::fread(&masked, sizeof(masked), 1, f) != 1) {
+      return Status::Corruption("missing crc trailer");
+    }
+    if (Crc32cUnmask(masked) != expected) {
+      return Status::Corruption("crc mismatch in checkpoint artifact");
+    }
+    return Status::OK();
+  }
+};
+
+Status CheckHeader(CrcFile* f, uint32_t expected_magic, uint64_t* count) {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  SANS_RETURN_IF_ERROR(f->ReadScalar(&magic));
+  if (magic != expected_magic) {
+    return Status::Corruption("bad magic");
+  }
+  SANS_RETURN_IF_ERROR(f->ReadScalar(&version));
+  if (version != kCandidateIoVersion) {
+    return Status::Corruption("unsupported version");
+  }
+  return f->ReadScalar(count);
+}
+
+}  // namespace
+
+Status WriteCandidateSet(const CandidateSet& candidates,
+                         const std::string& path) {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  CrcFile f{file.get()};
+  SANS_RETURN_IF_ERROR(f.WriteScalar(kCandidateFileMagic));
+  SANS_RETURN_IF_ERROR(f.WriteScalar(kCandidateIoVersion));
+  SANS_RETURN_IF_ERROR(
+      f.WriteScalar(static_cast<uint64_t>(candidates.size())));
+  for (const auto& [pair, count] : candidates.SortedEntries()) {
+    SANS_RETURN_IF_ERROR(f.WriteScalar(pair.first));
+    SANS_RETURN_IF_ERROR(f.WriteScalar(pair.second));
+    SANS_RETURN_IF_ERROR(f.WriteScalar(count));
+  }
+  return f.WriteTrailer();
+}
+
+Result<CandidateSet> ReadCandidateSet(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  CrcFile f{file.get()};
+  uint64_t count = 0;
+  SANS_RETURN_IF_ERROR(CheckHeader(&f, kCandidateFileMagic, &count));
+  CandidateSet candidates;
+  for (uint64_t i = 0; i < count; ++i) {
+    ColumnId first = 0;
+    ColumnId second = 0;
+    uint64_t evidence = 0;
+    SANS_RETURN_IF_ERROR(f.ReadScalar(&first));
+    SANS_RETURN_IF_ERROR(f.ReadScalar(&second));
+    SANS_RETURN_IF_ERROR(f.ReadScalar(&evidence));
+    if (first == second) {
+      return Status::Corruption("candidate pair with equal columns");
+    }
+    candidates.Add(ColumnPair(first, second), evidence);
+  }
+  SANS_RETURN_IF_ERROR(f.VerifyTrailer());
+  return candidates;
+}
+
+Status WriteSimilarPairs(const std::vector<SimilarPair>& pairs,
+                         const std::string& path) {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  CrcFile f{file.get()};
+  SANS_RETURN_IF_ERROR(f.WriteScalar(kPairsFileMagic));
+  SANS_RETURN_IF_ERROR(f.WriteScalar(kCandidateIoVersion));
+  SANS_RETURN_IF_ERROR(f.WriteScalar(static_cast<uint64_t>(pairs.size())));
+  for (const SimilarPair& p : pairs) {
+    SANS_RETURN_IF_ERROR(f.WriteScalar(p.pair.first));
+    SANS_RETURN_IF_ERROR(f.WriteScalar(p.pair.second));
+    // Exact double bits, so a reloaded checkpoint reproduces the
+    // clean-run output byte for byte.
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(p.similarity));
+    std::memcpy(&bits, &p.similarity, sizeof(bits));
+    SANS_RETURN_IF_ERROR(f.WriteScalar(bits));
+  }
+  return f.WriteTrailer();
+}
+
+Result<std::vector<SimilarPair>> ReadSimilarPairs(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  CrcFile f{file.get()};
+  uint64_t count = 0;
+  SANS_RETURN_IF_ERROR(CheckHeader(&f, kPairsFileMagic, &count));
+  std::vector<SimilarPair> pairs;
+  // A corrupted count must fail via the short read below, not via a
+  // giant allocation here.
+  pairs.reserve(static_cast<size_t>(std::min<uint64_t>(count, 1u << 20)));
+  for (uint64_t i = 0; i < count; ++i) {
+    SimilarPair p;
+    uint64_t bits = 0;
+    SANS_RETURN_IF_ERROR(f.ReadScalar(&p.pair.first));
+    SANS_RETURN_IF_ERROR(f.ReadScalar(&p.pair.second));
+    SANS_RETURN_IF_ERROR(f.ReadScalar(&bits));
+    std::memcpy(&p.similarity, &bits, sizeof(bits));
+    pairs.push_back(p);
+  }
+  SANS_RETURN_IF_ERROR(f.VerifyTrailer());
+  return pairs;
+}
+
+}  // namespace sans

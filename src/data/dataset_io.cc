@@ -43,18 +43,34 @@ Result<BinaryMatrix> LoadTransactions(const std::string& path,
   ColumnId max_col = 0;
   bool any_entry = false;
   std::string line;
+  uint64_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     std::vector<ColumnId>& row = rows.emplace_back();
     std::istringstream tokens(line);
     std::string token;
     while (tokens >> token) {
+      // strtoul silently negates "-5"-style tokens and, where
+      // unsigned long is 32 bits, wraps ids above 2^32 without setting
+      // errno on this range check — reject both shapes explicitly so
+      // a malformed id can never alias a valid column.
+      if (token[0] == '-' || token[0] == '+') {
+        return Status::Corruption(
+            "signed column id '" + token + "' at line " +
+            std::to_string(line_number) + " of " + path);
+      }
       errno = 0;
       char* end = nullptr;
       const unsigned long value = std::strtoul(token.c_str(), &end, 10);
-      if (errno != 0 || end == token.c_str() || *end != '\0' ||
-          value > 0xfffffffful) {
-        return Status::Corruption("bad column id '" + token + "' in " +
-                                  path);
+      if (end == token.c_str() || *end != '\0') {
+        return Status::Corruption(
+            "bad column id '" + token + "' at line " +
+            std::to_string(line_number) + " of " + path);
+      }
+      if (errno == ERANGE || value > 0xfffffffful) {
+        return Status::Corruption(
+            "column id '" + token + "' out of range at line " +
+            std::to_string(line_number) + " of " + path);
       }
       const ColumnId c = static_cast<ColumnId>(value);
       row.push_back(c);

@@ -1,0 +1,158 @@
+#include "matrix/resilient_row_stream.h"
+
+namespace sans {
+
+ResilientRowStream::ResilientRowStream(const ResilientSource* source,
+                                       std::unique_ptr<RowStream> inner)
+    : source_(source), inner_(std::move(inner)) {}
+
+RowId ResilientRowStream::num_rows() const { return source_->num_rows(); }
+ColumnId ResilientRowStream::num_cols() const { return source_->num_cols(); }
+
+Status ResilientRowStream::Reopen() {
+  if (source_->stats() != nullptr) {
+    source_->stats()->reopens.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto reopened = source_->OpenInner();
+  if (!reopened.ok()) return reopened.status();
+  inner_ = std::move(reopened).value();
+  return Status::OK();
+}
+
+bool ResilientRowStream::Next(RowView* out) {
+  if (failed_) return false;
+  const ResilienceOptions& options = source_->options();
+  // Recovery budget for the row currently being fetched. Probes call
+  // Next() again after a row-level error (resumable streams advance
+  // past the bad row); each successful probe run charges the skipped
+  // gap against the source-wide budget, so probing is bounded by it.
+  int reopens_left = options.retry.max_attempts - 1;
+  uint64_t probes_left =
+      options.degraded_mode ? options.max_skipped_rows + 1 : 0;
+  Status last_error;
+  Xoshiro256 jitter_rng(options.retry.seed ^ (cursor_ + 1));
+
+  while (true) {
+    if (inner_ == nullptr) {
+      const Status s = Reopen();
+      if (!s.ok()) {
+        stream_status_ = s;
+        failed_ = true;
+        return false;
+      }
+    }
+    RowView view;
+    if (inner_->Next(&view)) {
+      if (view.row < cursor_) continue;  // replay after a re-open
+      if (view.row > cursor_) {
+        // Rows [cursor_, view.row) were lost to unreadable stretches.
+        const uint64_t lost = view.row - cursor_;
+        if (!options.degraded_mode || !source_->ChargeSkips(lost)) {
+          stream_status_ = options.degraded_mode
+                               ? Status::Corruption(
+                                     "skipped-row budget exhausted: " +
+                                     last_error.ToString())
+                               : (last_error.ok()
+                                      ? Status::Corruption(
+                                            "stream skipped rows without "
+                                            "degraded mode")
+                                      : last_error);
+          failed_ = true;
+          return false;
+        }
+        if (source_->stats() != nullptr) {
+          for (RowId r = cursor_; r < view.row; ++r) {
+            source_->stats()->RecordSkipped(r);
+          }
+        }
+      }
+      cursor_ = view.row + 1;
+      *out = view;
+      return true;
+    }
+
+    const Status s = inner_->stream_status();
+    if (s.ok()) {
+      // Clean end of stream. Rows still owed mean the tail was lost
+      // (e.g. the final row was unreadable and the probe ran past it).
+      if (cursor_ < num_rows() && !last_error.ok()) {
+        const uint64_t lost = num_rows() - cursor_;
+        if (options.degraded_mode && source_->ChargeSkips(lost)) {
+          if (source_->stats() != nullptr) {
+            for (RowId r = cursor_; r < num_rows(); ++r) {
+              source_->stats()->RecordSkipped(r);
+            }
+          }
+          cursor_ = num_rows();
+          return false;
+        }
+        stream_status_ = last_error;
+        failed_ = true;
+      }
+      return false;
+    }
+
+    last_error = s;
+    if (options.retry.retryable != nullptr && options.retry.retryable(s) &&
+        reopens_left > 0) {
+      const int retry_number = options.retry.max_attempts - reopens_left;
+      --reopens_left;
+      SleepForMs(options.retry.BackoffMs(retry_number, &jitter_rng));
+      inner_.reset();
+      continue;
+    }
+    if (probes_left > 0) {
+      --probes_left;
+      continue;  // probe: resumable streams advance past the bad row
+    }
+    stream_status_ = s;
+    failed_ = true;
+    return false;
+  }
+}
+
+Status ResilientRowStream::Reset() {
+  cursor_ = 0;
+  failed_ = false;
+  stream_status_ = Status::OK();
+  if (inner_ != nullptr && inner_->Reset().ok()) return Status::OK();
+  inner_.reset();  // re-open lazily on the next Next()
+  return Status::OK();
+}
+
+ResilientSource::ResilientSource(const RowStreamSource* inner,
+                                 ResilienceOptions options,
+                                 ResilienceStats* stats)
+    : inner_(inner), options_(std::move(options)), stats_(stats) {
+  SANS_CHECK(options_.Validate().ok());
+}
+
+Result<std::unique_ptr<RowStream>> ResilientSource::OpenInner() const {
+  RetryStats retry_stats;
+  auto opened = RunWithRetry(
+      options_.retry, [&] { return inner_->Open(); }, &retry_stats);
+  if (stats_ != nullptr) {
+    stats_->open_failures.fetch_add(retry_stats.failures_seen,
+                                    std::memory_order_relaxed);
+    stats_->reopens.fetch_add(retry_stats.retries,
+                              std::memory_order_relaxed);
+  }
+  return opened;
+}
+
+Result<std::unique_ptr<RowStream>> ResilientSource::Open() const {
+  SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> inner, OpenInner());
+  return std::unique_ptr<RowStream>(
+      std::make_unique<ResilientRowStream>(this, std::move(inner)));
+}
+
+bool ResilientSource::ChargeSkips(uint64_t rows) const {
+  const uint64_t before = skipped_.fetch_add(rows, std::memory_order_relaxed);
+  if (before + rows > options_.max_skipped_rows) return false;
+  if (stats_ != nullptr) {
+    stats_->rows_skipped.fetch_add(rows, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+}  // namespace sans

@@ -1,0 +1,142 @@
+// Fault-tolerant row streaming. ResilientSource wraps any
+// RowStreamSource and hands out streams that survive transient
+// kIOError faults by re-opening the underlying source (bounded
+// attempts, exponential backoff) and fast-forwarding to the row where
+// the scan failed. In opt-in degraded mode, rows that stay unreadable
+// after every retry are skipped — against an explicit budget, so the
+// estimator error a missing row introduces stays bounded and is
+// reported in the run summary instead of passing silently.
+//
+// Skipping relies on the underlying stream being resumable past a bad
+// row (see RowStream::stream_status); streams that cannot resume —
+// e.g. a truncated table, where nothing after the tear is decodable —
+// still fail the run even in degraded mode.
+
+#ifndef SANS_MATRIX_RESILIENT_ROW_STREAM_H_
+#define SANS_MATRIX_RESILIENT_ROW_STREAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "matrix/row_stream.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// Knobs for fault-tolerant scans.
+struct ResilienceOptions {
+  /// Governs re-open attempts after a transient failure.
+  RetryPolicy retry;
+  /// When true, rows that remain unreadable after retries are dropped
+  /// (up to max_skipped_rows) instead of failing the scan.
+  bool degraded_mode = false;
+  /// Budget of rows the whole source may drop across all of its
+  /// streams before degraded mode, too, gives up.
+  uint64_t max_skipped_rows = 0;
+
+  Status Validate() const {
+    SANS_RETURN_IF_ERROR(retry.Validate());
+    if (degraded_mode && max_skipped_rows == 0) {
+      return Status::InvalidArgument(
+          "degraded_mode requires a positive max_skipped_rows budget");
+    }
+    return Status::OK();
+  }
+};
+
+/// Fault counters shared by every stream a ResilientSource opens
+/// (phase-1 and phase-3 scans, parallel workers). Atomic so concurrent
+/// verification workers can update them without a lock.
+struct ResilienceStats {
+  std::atomic<uint64_t> reopens{0};        // underlying re-open attempts
+  std::atomic<uint64_t> open_failures{0};  // failed Open() calls
+  std::atomic<uint64_t> rows_skipped{0};   // degraded-mode drops
+
+  /// Row ids dropped in degraded mode (capped listing for reports).
+  std::vector<RowId> SkippedRows() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return skipped_rows_;
+  }
+  void RecordSkipped(RowId row) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (skipped_rows_.size() < kMaxListedSkips) skipped_rows_.push_back(row);
+  }
+
+  static constexpr size_t kMaxListedSkips = 128;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RowId> skipped_rows_;
+};
+
+class ResilientSource;
+
+/// A RowStream that retries, fast-forwards, and (optionally) skips.
+/// Row ids of the underlying stream must be sequential from 0 — true
+/// of every source in this library — so the wrapper can locate the
+/// failed row after a re-open.
+class ResilientRowStream final : public RowStream {
+ public:
+  ResilientRowStream(const ResilientSource* source,
+                     std::unique_ptr<RowStream> inner);
+
+  RowId num_rows() const override;
+  ColumnId num_cols() const override;
+
+  bool Next(RowView* out) override;
+  Status Reset() override;
+  Status stream_status() const override { return stream_status_; }
+
+ private:
+  /// Re-opens the underlying stream under the retry policy and leaves
+  /// it positioned at row 0 (Next() fast-forwards via row ids).
+  Status Reopen();
+
+  const ResilientSource* source_;
+  std::unique_ptr<RowStream> inner_;
+  /// Next row id to deliver; rows below it are replayed silently after
+  /// a re-open, rows above it were lost to skips.
+  RowId cursor_ = 0;
+  bool failed_ = false;
+  Status stream_status_;
+};
+
+/// Source wrapper producing ResilientRowStreams. The wrapped source
+/// must outlive this object; `stats` (optional) aggregates fault
+/// counters across all opened streams.
+class ResilientSource final : public RowStreamSource {
+ public:
+  ResilientSource(const RowStreamSource* inner, ResilienceOptions options,
+                  ResilienceStats* stats = nullptr);
+
+  RowId num_rows() const override { return inner_->num_rows(); }
+  ColumnId num_cols() const override { return inner_->num_cols(); }
+
+  /// Opens the underlying source, retrying transient failures.
+  Result<std::unique_ptr<RowStream>> Open() const override;
+
+  const ResilienceOptions& options() const { return options_; }
+  ResilienceStats* stats() const { return stats_; }
+
+  /// Opens the raw underlying stream with retries (used by streams
+  /// re-opening after a mid-scan fault).
+  Result<std::unique_ptr<RowStream>> OpenInner() const;
+
+  /// Charges `rows` skipped rows against the shared budget. Returns
+  /// false when the budget would be exceeded (the scan must fail).
+  bool ChargeSkips(uint64_t rows) const;
+
+ private:
+  const RowStreamSource* inner_;
+  ResilienceOptions options_;
+  ResilienceStats* stats_;                  // may be null
+  mutable std::atomic<uint64_t> skipped_{0};
+};
+
+}  // namespace sans
+
+#endif  // SANS_MATRIX_RESILIENT_ROW_STREAM_H_

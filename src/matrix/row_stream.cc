@@ -13,6 +13,9 @@ Result<BinaryMatrix> MaterializeStream(RowStream* stream) {
       SANS_RETURN_IF_ERROR(builder.Set(view.row, c));
     }
   }
+  // A false Next() is only a clean end of table when the stream says
+  // so — a truncated file must fail the materialization.
+  SANS_RETURN_IF_ERROR(stream->stream_status());
   return std::move(builder).Build();
 }
 

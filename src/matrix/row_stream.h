@@ -36,8 +36,18 @@ class RowStream {
   virtual ColumnId num_cols() const = 0;
 
   /// Advances to the next row. Returns false at end of stream; `out`
-  /// is untouched in that case.
+  /// is untouched in that case. A false return is only a clean end of
+  /// table when stream_status() is OK — consumers must check it, or a
+  /// truncated file silently ends the scan early.
   virtual bool Next(RowView* out) = 0;
+
+  /// Error state after Next() returns false: OK for a genuine end of
+  /// stream, kCorruption / kIOError when the scan stopped early. After
+  /// an error that left the stream positioned on the following row
+  /// (e.g. a corrupt payload inside intact framing), calling Next()
+  /// again may resume the scan past the bad row; streams that cannot
+  /// resume keep returning false with the same status.
+  virtual Status stream_status() const { return Status::OK(); }
 
   /// Rewinds to the first row so the table can be scanned again
   /// (phase 3 verification re-reads the table).

@@ -19,6 +19,7 @@ ExactIntersectionCounts(RowStream* rows) {
       }
     }
   }
+  SANS_RETURN_IF_ERROR(rows->stream_status());
   return counts;
 }
 

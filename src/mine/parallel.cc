@@ -68,7 +68,9 @@ Result<SignatureMatrix> ComputeMinHashParallel(
             }
           }
         }
-        return Status::OK();
+        // Each worker scans the whole table; a truncated stream must
+        // fail its stripe, not shrink it.
+        return stream->stream_status();
       });
   SANS_RETURN_IF_ERROR(worker_status);
 
@@ -146,7 +148,7 @@ Result<std::vector<VerifiedPair>> CountCandidatePairsParallel(
             present[idx] = 0;
           }
         }
-        return Status::OK();
+        return stream->stream_status();
       });
   SANS_RETURN_IF_ERROR(worker_status);
 

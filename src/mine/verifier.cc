@@ -50,6 +50,9 @@ Result<std::vector<VerifiedPair>> CountCandidatePairs(
       present[idx] = 0;
     }
   }
+  // Counts from a truncated verification scan would understate unions
+  // and intersections — surface the stream error instead.
+  SANS_RETURN_IF_ERROR(rows->stream_status());
   return verified;
 }
 

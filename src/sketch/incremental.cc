@@ -42,7 +42,7 @@ Status IncrementalKMinHashBuilder::AddAll(RowStream* rows) {
   while (rows->Next(&view)) {
     SANS_RETURN_IF_ERROR(AddRow(view.row, view.columns));
   }
-  return Status::OK();
+  return rows->stream_status();
 }
 
 Status IncrementalKMinHashBuilder::Merge(

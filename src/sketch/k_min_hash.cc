@@ -92,6 +92,7 @@ Result<KMinHashSketch> KMinHashGenerator::Compute(RowStream* rows) const {
       ++sketch.cardinalities_[c];
     }
   }
+  SANS_RETURN_IF_ERROR(rows->stream_status());
   for (ColumnId c = 0; c < m; ++c) {
     sketch.signatures_[c] = heaps[c].TakeSortedValues();
     // Distinct rows hash to distinct values for the bijective families

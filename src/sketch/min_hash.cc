@@ -54,6 +54,9 @@ Result<SignatureMatrix> MinHashGenerator::Compute(
       }
     }
   }
+  // Signatures over a truncated scan are silently biased — fail the
+  // pass instead of ending it "cleanly".
+  SANS_RETURN_IF_ERROR(rows->stream_status());
   return signatures;
 }
 

@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "util/crc32c.h"
+
 namespace sans {
 namespace {
 
@@ -15,44 +17,77 @@ struct FileCloser {
 };
 using File = std::unique_ptr<std::FILE, FileCloser>;
 
-Status WriteBytes(std::FILE* f, const void* data, size_t size) {
-  if (std::fwrite(data, 1, size, f) != size) {
-    return Status::IOError("short write");
+/// FILE plus a running CRC32C folded over every byte moved, so the v2
+/// trailer is computed/verified in the same single pass as the data.
+struct CrcFile {
+  std::FILE* f = nullptr;
+  uint32_t crc = 0;
+
+  Status Write(const void* data, size_t size) {
+    if (std::fwrite(data, 1, size, f) != size) {
+      return Status::IOError("short write");
+    }
+    crc = Crc32cExtend(crc, data, size);
+    return Status::OK();
   }
-  return Status::OK();
-}
 
-Status ReadBytes(std::FILE* f, void* data, size_t size) {
-  if (std::fread(data, 1, size, f) != size) {
-    return Status::Corruption("short read");
+  Status Read(void* data, size_t size) {
+    if (std::fread(data, 1, size, f) != size) {
+      return Status::Corruption("short read");
+    }
+    crc = Crc32cExtend(crc, data, size);
+    return Status::OK();
   }
-  return Status::OK();
-}
 
-template <typename T>
-Status WriteScalar(std::FILE* f, T value) {
-  return WriteBytes(f, &value, sizeof(value));
-}
+  template <typename T>
+  Status WriteScalar(T value) {
+    return Write(&value, sizeof(value));
+  }
 
-template <typename T>
-Status ReadScalar(std::FILE* f, T* value) {
-  return ReadBytes(f, value, sizeof(*value));
-}
+  template <typename T>
+  Status ReadScalar(T* value) {
+    return Read(value, sizeof(*value));
+  }
 
-Status CheckHeader(std::FILE* f, uint32_t expected_magic, uint32_t* k,
-                   uint32_t* m) {
+  /// Appends the masked checksum trailer (not folded into itself).
+  Status WriteTrailer() {
+    const uint32_t masked = Crc32cMask(crc);
+    if (std::fwrite(&masked, sizeof(masked), 1, f) != 1) {
+      return Status::IOError("short write of crc trailer");
+    }
+    return Status::OK();
+  }
+
+  /// For v2 files: reads the trailer and checks it against the bytes
+  /// consumed so far. No-op for v1.
+  Status VerifyTrailer(uint32_t version) {
+    if (version < 2) return Status::OK();
+    const uint32_t expected = crc;
+    uint32_t masked = 0;
+    if (std::fread(&masked, sizeof(masked), 1, f) != 1) {
+      return Status::Corruption("missing crc trailer");
+    }
+    if (Crc32cUnmask(masked) != expected) {
+      return Status::Corruption(
+          "crc mismatch: sketch file bytes do not match their checksum");
+    }
+    return Status::OK();
+  }
+};
+
+Status CheckHeader(CrcFile* f, uint32_t expected_magic, uint32_t* version,
+                   uint32_t* k, uint32_t* m) {
   uint32_t magic = 0;
-  uint32_t version = 0;
-  SANS_RETURN_IF_ERROR(ReadScalar(f, &magic));
+  SANS_RETURN_IF_ERROR(f->ReadScalar(&magic));
   if (magic != expected_magic) {
     return Status::Corruption("bad magic");
   }
-  SANS_RETURN_IF_ERROR(ReadScalar(f, &version));
-  if (version != kSketchIoVersion) {
+  SANS_RETURN_IF_ERROR(f->ReadScalar(version));
+  if (*version < kSketchIoMinVersion || *version > kSketchIoVersion) {
     return Status::Corruption("unsupported version");
   }
-  SANS_RETURN_IF_ERROR(ReadScalar(f, k));
-  SANS_RETURN_IF_ERROR(ReadScalar(f, m));
+  SANS_RETURN_IF_ERROR(f->ReadScalar(k));
+  SANS_RETURN_IF_ERROR(f->ReadScalar(m));
   if (*k == 0) {
     return Status::Corruption("k must be positive");
   }
@@ -63,89 +98,93 @@ Status CheckHeader(std::FILE* f, uint32_t expected_magic, uint32_t* k,
 
 Status WriteSignatureMatrix(const SignatureMatrix& signatures,
                             const std::string& path) {
-  File f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
     return Status::IOError("cannot open for writing: " + path);
   }
-  SANS_RETURN_IF_ERROR(WriteScalar(f.get(), kSignatureFileMagic));
-  SANS_RETURN_IF_ERROR(WriteScalar(f.get(), kSketchIoVersion));
+  CrcFile f{file.get()};
+  SANS_RETURN_IF_ERROR(f.WriteScalar(kSignatureFileMagic));
+  SANS_RETURN_IF_ERROR(f.WriteScalar(kSketchIoVersion));
   SANS_RETURN_IF_ERROR(
-      WriteScalar(f.get(), static_cast<uint32_t>(signatures.num_hashes())));
-  SANS_RETURN_IF_ERROR(WriteScalar(f.get(), signatures.num_cols()));
+      f.WriteScalar(static_cast<uint32_t>(signatures.num_hashes())));
+  SANS_RETURN_IF_ERROR(f.WriteScalar(signatures.num_cols()));
   for (int l = 0; l < signatures.num_hashes(); ++l) {
     const auto row = signatures.HashRow(l);
-    SANS_RETURN_IF_ERROR(
-        WriteBytes(f.get(), row.data(), row.size() * sizeof(uint64_t)));
+    SANS_RETURN_IF_ERROR(f.Write(row.data(), row.size() * sizeof(uint64_t)));
   }
-  return Status::OK();
+  return f.WriteTrailer();
 }
 
 Result<SignatureMatrix> ReadSignatureMatrix(const std::string& path) {
-  File f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
     return Status::IOError("cannot open for reading: " + path);
   }
+  CrcFile f{file.get()};
+  uint32_t version = 0;
   uint32_t k = 0;
   uint32_t m = 0;
-  SANS_RETURN_IF_ERROR(CheckHeader(f.get(), kSignatureFileMagic, &k, &m));
+  SANS_RETURN_IF_ERROR(
+      CheckHeader(&f, kSignatureFileMagic, &version, &k, &m));
   SignatureMatrix signatures(static_cast<int>(k), m);
   std::vector<uint64_t> row(m);
   for (uint32_t l = 0; l < k; ++l) {
-    SANS_RETURN_IF_ERROR(
-        ReadBytes(f.get(), row.data(), row.size() * sizeof(uint64_t)));
+    SANS_RETURN_IF_ERROR(f.Read(row.data(), row.size() * sizeof(uint64_t)));
     for (ColumnId c = 0; c < m; ++c) {
       signatures.SetValue(static_cast<int>(l), c, row[c]);
     }
   }
+  SANS_RETURN_IF_ERROR(f.VerifyTrailer(version));
   return signatures;
 }
 
 Status WriteKMinHashSketch(const KMinHashSketch& sketch,
                            const std::string& path) {
-  File f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
     return Status::IOError("cannot open for writing: " + path);
   }
-  SANS_RETURN_IF_ERROR(WriteScalar(f.get(), kSketchFileMagic));
-  SANS_RETURN_IF_ERROR(WriteScalar(f.get(), kSketchIoVersion));
-  SANS_RETURN_IF_ERROR(
-      WriteScalar(f.get(), static_cast<uint32_t>(sketch.k())));
-  SANS_RETURN_IF_ERROR(WriteScalar(f.get(), sketch.num_cols()));
+  CrcFile f{file.get()};
+  SANS_RETURN_IF_ERROR(f.WriteScalar(kSketchFileMagic));
+  SANS_RETURN_IF_ERROR(f.WriteScalar(kSketchIoVersion));
+  SANS_RETURN_IF_ERROR(f.WriteScalar(static_cast<uint32_t>(sketch.k())));
+  SANS_RETURN_IF_ERROR(f.WriteScalar(sketch.num_cols()));
   for (ColumnId c = 0; c < sketch.num_cols(); ++c) {
-    SANS_RETURN_IF_ERROR(
-        WriteScalar(f.get(), sketch.ColumnCardinality(c)));
+    SANS_RETURN_IF_ERROR(f.WriteScalar(sketch.ColumnCardinality(c)));
     const auto sig = sketch.Signature(c);
     SANS_RETURN_IF_ERROR(
-        WriteScalar(f.get(), static_cast<uint32_t>(sig.size())));
-    SANS_RETURN_IF_ERROR(
-        WriteBytes(f.get(), sig.data(), sig.size() * sizeof(uint64_t)));
+        f.WriteScalar(static_cast<uint32_t>(sig.size())));
+    SANS_RETURN_IF_ERROR(f.Write(sig.data(), sig.size() * sizeof(uint64_t)));
   }
-  return Status::OK();
+  return f.WriteTrailer();
 }
 
 Result<KMinHashSketch> ReadKMinHashSketch(const std::string& path) {
-  File f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
     return Status::IOError("cannot open for reading: " + path);
   }
+  CrcFile f{file.get()};
+  uint32_t version = 0;
   uint32_t k = 0;
   uint32_t m = 0;
-  SANS_RETURN_IF_ERROR(CheckHeader(f.get(), kSketchFileMagic, &k, &m));
+  SANS_RETURN_IF_ERROR(CheckHeader(&f, kSketchFileMagic, &version, &k, &m));
   KMinHashSketch sketch(static_cast<int>(k), m);
   for (ColumnId c = 0; c < m; ++c) {
     uint64_t cardinality = 0;
     uint32_t size = 0;
-    SANS_RETURN_IF_ERROR(ReadScalar(f.get(), &cardinality));
-    SANS_RETURN_IF_ERROR(ReadScalar(f.get(), &size));
+    SANS_RETURN_IF_ERROR(f.ReadScalar(&cardinality));
+    SANS_RETURN_IF_ERROR(f.ReadScalar(&size));
     if (size > k) {
       return Status::Corruption("signature larger than k");
     }
     std::vector<uint64_t> signature(size);
-    SANS_RETURN_IF_ERROR(ReadBytes(f.get(), signature.data(),
-                                   signature.size() * sizeof(uint64_t)));
+    SANS_RETURN_IF_ERROR(
+        f.Read(signature.data(), signature.size() * sizeof(uint64_t)));
     SANS_RETURN_IF_ERROR(
         sketch.SetColumn(c, std::move(signature), cardinality));
   }
+  SANS_RETURN_IF_ERROR(f.VerifyTrailer(version));
   return sketch;
 }
 

@@ -8,6 +8,12 @@
 //                   [k*m u64 values, row-major]
 //   sketch file:    [magic u32 "SKCH"][version u32][k u32][m u32]
 //                   per column: [cardinality u64][size u32][size u64]
+//
+// Version 2 (current write format) appends a masked CRC32C trailer
+// over all preceding bytes, folded incrementally on both the write and
+// the read path, so a truncated or bit-rotted artifact is rejected as
+// kCorruption instead of yielding silently wrong similarities. v1
+// files (no trailer) still load.
 
 #ifndef SANS_SKETCH_SKETCH_IO_H_
 #define SANS_SKETCH_SKETCH_IO_H_
@@ -22,7 +28,10 @@ namespace sans {
 
 inline constexpr uint32_t kSignatureFileMagic = 0x534e4753u;  // "SGNS"
 inline constexpr uint32_t kSketchFileMagic = 0x48434b53u;     // "SKCH"
-inline constexpr uint32_t kSketchIoVersion = 1;
+/// Version writers emit (v2 = CRC32C trailer).
+inline constexpr uint32_t kSketchIoVersion = 2;
+/// Oldest version readers still accept.
+inline constexpr uint32_t kSketchIoMinVersion = 1;
 
 /// Writes a signature matrix to `path`.
 Status WriteSignatureMatrix(const SignatureMatrix& signatures,

@@ -1,0 +1,65 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace sans {
+namespace {
+
+/// Slicing-by-4 lookup tables, generated at static-init time from the
+/// reflected Castagnoli polynomial. Table-driven software CRC keeps
+/// the library dependency-free; at ~1.5 GB/s it is far faster than the
+/// disk streams it guards.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // 0x1EDC6F41 reflected
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  const auto& t = Tables().t;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xffffffffu;
+  // Head bytes until 4-byte alignment of the remaining length.
+  while (size > 0 && (reinterpret_cast<uintptr_t>(p) & 3u) != 0) {
+    c = (c >> 8) ^ t[0][(c ^ *p++) & 0xff];
+    --size;
+  }
+  while (size >= 4) {
+    const uint32_t word = c ^ (static_cast<uint32_t>(p[0]) |
+                               static_cast<uint32_t>(p[1]) << 8 |
+                               static_cast<uint32_t>(p[2]) << 16 |
+                               static_cast<uint32_t>(p[3]) << 24);
+    c = t[3][word & 0xff] ^ t[2][(word >> 8) & 0xff] ^
+        t[1][(word >> 16) & 0xff] ^ t[0][word >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size > 0) {
+    c = (c >> 8) ^ t[0][(c ^ *p++) & 0xff];
+    --size;
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace sans

@@ -1,0 +1,39 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected) — the
+// checksum guarding every v2 on-disk artifact (table files, sketches,
+// checkpoints). Computed incrementally while streaming so writers and
+// readers never need a second pass over the bytes.
+
+#ifndef SANS_UTIL_CRC32C_H_
+#define SANS_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sans {
+
+/// Extends a running CRC32C with `size` bytes. Seed a fresh
+/// computation with crc = 0; the returned value is the finalized
+/// checksum of everything fed so far (no separate Finish step).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size);
+
+/// CRC32C of a single buffer.
+inline uint32_t Crc32c(const void* data, size_t size) {
+  return Crc32cExtend(0, data, size);
+}
+
+/// Masked CRC in the RocksDB/LevelDB idiom: storing the CRC of data
+/// that itself embeds CRCs is error-prone, so artifact trailers store
+/// a rotated-plus-constant transform of the checksum.
+inline uint32_t Crc32cMask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+/// Inverse of Crc32cMask.
+inline uint32_t Crc32cUnmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace sans
+
+#endif  // SANS_UTIL_CRC32C_H_

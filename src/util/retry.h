@@ -1,0 +1,119 @@
+// Retry policy for transient I/O faults: bounded attempts with
+// exponential backoff and deterministic jitter. Long disk-resident
+// mining runs (the paper's target setting) treat a flaky open or read
+// as recoverable; anything else — corruption, bad arguments — must
+// surface immediately, so retryability is an explicit predicate on the
+// StatusCode, never a blanket catch.
+
+#ifndef SANS_UTIL_RETRY_H_
+#define SANS_UTIL_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// Default retryability: only I/O errors are transient. Corruption is
+/// never retried — re-reading a bad checksum yields the same bytes.
+inline bool IsTransientError(const Status& status) {
+  return status.code() == StatusCode::kIOError;
+}
+
+/// Bounded exponential backoff with jitter. All fields are plain data
+/// so a policy can live in a config struct and be fingerprinted.
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retries).
+  int max_attempts = 3;
+  /// Delay before the first retry.
+  double base_backoff_ms = 2.0;
+  /// Growth factor per retry.
+  double backoff_multiplier = 2.0;
+  /// Ceiling on any single delay.
+  double max_backoff_ms = 1000.0;
+  /// Uniform jitter as a fraction of the delay, in [0, 1]: the actual
+  /// delay is d * (1 - jitter + 2*jitter*u) for u ~ U[0,1).
+  double jitter = 0.25;
+  /// Seed for the jitter draws, so runs are reproducible.
+  uint64_t seed = 0;
+  /// Which errors are worth retrying.
+  bool (*retryable)(const Status&) = &IsTransientError;
+
+  Status Validate() const {
+    if (max_attempts < 1) {
+      return Status::InvalidArgument("max_attempts must be >= 1");
+    }
+    if (base_backoff_ms < 0.0 || max_backoff_ms < 0.0 ||
+        backoff_multiplier < 1.0) {
+      return Status::InvalidArgument("backoff parameters out of range");
+    }
+    if (jitter < 0.0 || jitter > 1.0) {
+      return Status::InvalidArgument("jitter must lie in [0, 1]");
+    }
+    return Status::OK();
+  }
+
+  /// Jittered delay before retry number `retry` (1-based), in ms.
+  double BackoffMs(int retry, Xoshiro256* rng) const {
+    double delay = base_backoff_ms;
+    for (int i = 1; i < retry; ++i) delay *= backoff_multiplier;
+    delay = std::min(delay, max_backoff_ms);
+    if (jitter > 0.0 && rng != nullptr) {
+      delay *= 1.0 - jitter + 2.0 * jitter * rng->NextDouble();
+    }
+    return delay;
+  }
+};
+
+/// Counters a retry loop fills in; aggregate them into run summaries.
+struct RetryStats {
+  uint64_t retries = 0;        // sleeps taken (attempts beyond the first)
+  uint64_t failures_seen = 0;  // failed attempts, retried or not
+};
+
+/// Sleep hook so tests can retry without wall-clock delays.
+using RetrySleeper = std::function<void(double ms)>;
+
+inline void SleepForMs(double ms) {
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+/// Runs `fn` (returning Status or Result<T>) under the policy:
+/// attempts until success, a non-retryable error, or max_attempts is
+/// reached. Returns the last outcome.
+template <typename Fn>
+auto RunWithRetry(const RetryPolicy& policy, Fn&& fn,
+                  RetryStats* stats = nullptr,
+                  const RetrySleeper& sleeper = SleepForMs)
+    -> decltype(fn()) {
+  Xoshiro256 rng(policy.seed);
+  for (int attempt = 1;; ++attempt) {
+    auto outcome = fn();
+    if (outcome.ok()) return outcome;
+    const Status status = [&] {
+      if constexpr (std::is_same_v<decltype(fn()), Status>) {
+        return outcome;
+      } else {
+        return outcome.status();
+      }
+    }();
+    if (stats != nullptr) ++stats->failures_seen;
+    if (attempt >= policy.max_attempts ||
+        policy.retryable == nullptr || !policy.retryable(status)) {
+      return outcome;
+    }
+    if (stats != nullptr) ++stats->retries;
+    if (sleeper) sleeper(policy.BackoffMs(attempt, &rng));
+  }
+}
+
+}  // namespace sans
+
+#endif  // SANS_UTIL_RETRY_H_

@@ -63,6 +63,32 @@ head -1 clusters.out | grep -q 'clusters'
 "$SANS_BIN" disjunctions --in corpus.sans --threshold 0.6 > disj.out
 head -1 disj.out | grep -q 'disjunction'
 
+echo "== checkpointed mining with resume =="
+"$SANS_BIN" mine --in corpus.sans --algorithm mlsh --threshold 0.6 \
+    --seed 5 --checkpoint-dir ckpt > mine_ckpt1.out 2> mine_ckpt1.err
+test -s ckpt/MANIFEST.json
+test -s ckpt/signatures.bin
+test -s ckpt/pairs.bin
+# Simulate a crash that lost the final stage; resume must reuse the
+# checkpointed signatures and candidates and recompute only the pairs.
+rm ckpt/pairs.bin
+"$SANS_BIN" mine --in corpus.sans --algorithm mlsh --threshold 0.6 \
+    --seed 5 --checkpoint-dir ckpt --resume \
+    > mine_ckpt2.out 2> mine_ckpt2.err
+grep -q 'reusing checkpointed signatures' mine_ckpt2.err
+grep -q 'reusing checkpointed candidates' mine_ckpt2.err
+# The '#' header embeds wall-clock timings, so compare pairs only.
+grep -v '^#' mine_ckpt1.out > ckpt_pairs1.txt
+grep -v '^#' mine_ckpt2.out > ckpt_pairs2.txt
+diff ckpt_pairs1.txt ckpt_pairs2.txt
+# A full resume with everything intact replays the stored pairs.
+"$SANS_BIN" mine --in corpus.sans --algorithm mlsh --threshold 0.6 \
+    --seed 5 --checkpoint-dir ckpt --resume \
+    > mine_ckpt3.out 2> mine_ckpt3.err
+grep -q 'reusing checkpointed verified pairs' mine_ckpt3.err
+grep -v '^#' mine_ckpt3.out > ckpt_pairs3.txt
+diff ckpt_pairs1.txt ckpt_pairs3.txt
+
 echo "== bad input is rejected =="
 if "$SANS_BIN" mine --in /nonexistent.sans --algorithm mh 2>/dev/null; then
   echo "expected failure on missing input" >&2

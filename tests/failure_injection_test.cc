@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "data/synthetic_generator.h"
+#include "matrix/resilient_row_stream.h"
 #include "matrix/row_stream.h"
 #include "mine/confidence_miner.h"
 #include "mine/hlsh_miner.h"
@@ -140,6 +141,278 @@ TEST(FailureInjectionTest, TwoGoodOpensSuffice) {
   config.min_hash.num_hashes = 16;
   MhMiner miner(config);
   EXPECT_TRUE(miner.Mine(source, 0.5).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Resilient wrapper: transient faults recover, persistent ones are
+// skipped only in degraded mode and only within budget.
+
+/// Source whose first `failing_opens` Open() calls fail, then succeed.
+class OpenFlakySource final : public RowStreamSource {
+ public:
+  OpenFlakySource(const BinaryMatrix* matrix, int failing_opens)
+      : matrix_(matrix), failures_left_(failing_opens) {}
+
+  RowId num_rows() const override { return matrix_->num_rows(); }
+  ColumnId num_cols() const override { return matrix_->num_cols(); }
+  Result<std::unique_ptr<RowStream>> Open() const override {
+    if (failures_left_ > 0) {
+      --failures_left_;
+      return Status::IOError("injected transient open failure");
+    }
+    return std::unique_ptr<RowStream>(
+        std::make_unique<InMemoryRowStream>(matrix_));
+  }
+
+ private:
+  const BinaryMatrix* matrix_;
+  mutable int failures_left_;
+};
+
+/// Stream that dies with kIOError at `fail_row` and stays dead (a torn
+/// connection, not a bad row). The owning source arms only its first
+/// stream, so a re-opened scan succeeds.
+class TransientMidScanSource final : public RowStreamSource {
+ public:
+  TransientMidScanSource(const BinaryMatrix* matrix, RowId fail_row)
+      : matrix_(matrix), fail_row_(fail_row) {}
+
+  RowId num_rows() const override { return matrix_->num_rows(); }
+  ColumnId num_cols() const override { return matrix_->num_cols(); }
+  Result<std::unique_ptr<RowStream>> Open() const override {
+    const bool arm = opens_++ == 0;
+    return std::unique_ptr<RowStream>(std::make_unique<Stream>(
+        matrix_, arm ? fail_row_ : matrix_->num_rows() + 1));
+  }
+
+ private:
+  class Stream final : public RowStream {
+   public:
+    Stream(const BinaryMatrix* matrix, RowId fail_row)
+        : inner_(matrix), fail_row_(fail_row) {}
+    RowId num_rows() const override { return inner_.num_rows(); }
+    ColumnId num_cols() const override { return inner_.num_cols(); }
+    bool Next(RowView* out) override {
+      RowView view;
+      if (!inner_.Next(&view)) return false;
+      if (view.row >= fail_row_) {
+        status_ = Status::IOError("injected mid-scan failure");
+        return false;  // and every later Next() fails the same way
+      }
+      *out = view;
+      return true;
+    }
+    Status stream_status() const override { return status_; }
+    Status Reset() override { return inner_.Reset(); }
+
+   private:
+    InMemoryRowStream inner_;
+    RowId fail_row_;
+    Status status_;
+  };
+
+  const BinaryMatrix* matrix_;
+  RowId fail_row_;
+  mutable int opens_ = 0;
+};
+
+/// Stream whose listed rows are persistently unreadable: Next()
+/// reports kIOError once per bad row, positioned past it, so a further
+/// Next() resumes — the TableFileReader resumable-error contract.
+class BadRowsSource final : public RowStreamSource {
+ public:
+  BadRowsSource(const BinaryMatrix* matrix, std::vector<RowId> bad_rows)
+      : matrix_(matrix), bad_rows_(std::move(bad_rows)) {}
+
+  RowId num_rows() const override { return matrix_->num_rows(); }
+  ColumnId num_cols() const override { return matrix_->num_cols(); }
+  Result<std::unique_ptr<RowStream>> Open() const override {
+    return std::unique_ptr<RowStream>(
+        std::make_unique<Stream>(matrix_, &bad_rows_));
+  }
+
+ private:
+  class Stream final : public RowStream {
+   public:
+    Stream(const BinaryMatrix* matrix, const std::vector<RowId>* bad_rows)
+        : matrix_(matrix), bad_rows_(bad_rows) {}
+    RowId num_rows() const override { return matrix_->num_rows(); }
+    ColumnId num_cols() const override { return matrix_->num_cols(); }
+    bool Next(RowView* out) override {
+      status_ = Status::OK();
+      if (next_row_ >= matrix_->num_rows()) return false;
+      const RowId row = next_row_++;
+      for (RowId bad : *bad_rows_) {
+        if (bad == row) {
+          status_ = Status::IOError("unreadable row " + std::to_string(row));
+          return false;  // positioned past the bad row: resumable
+        }
+      }
+      out->row = row;
+      out->columns = matrix_->Row(row);
+      return true;
+    }
+    Status stream_status() const override { return status_; }
+    Status Reset() override {
+      next_row_ = 0;
+      status_ = Status::OK();
+      return Status::OK();
+    }
+
+   private:
+    const BinaryMatrix* matrix_;
+    const std::vector<RowId>* bad_rows_;
+    RowId next_row_ = 0;
+    Status status_;
+  };
+
+  const BinaryMatrix* matrix_;
+  std::vector<RowId> bad_rows_;
+};
+
+/// Fast retries for tests: no measurable backoff.
+ResilienceOptions FastOptions(int max_attempts) {
+  ResilienceOptions options;
+  options.retry.max_attempts = max_attempts;
+  options.retry.base_backoff_ms = 0.0;
+  options.retry.max_backoff_ms = 0.0;
+  return options;
+}
+
+std::vector<RowId> DrainRows(RowStream* stream) {
+  std::vector<RowId> rows;
+  RowView view;
+  while (stream->Next(&view)) rows.push_back(view.row);
+  return rows;
+}
+
+TEST(ResilientStreamTest, RetriesTransientOpenFailure) {
+  const BinaryMatrix m = SmallMatrix();
+  OpenFlakySource flaky(&m, /*failing_opens=*/2);
+  ResilienceStats stats;
+  ResilientSource source(&flaky, FastOptions(3), &stats);
+
+  auto stream = source.Open();
+  ASSERT_TRUE(stream.ok());
+  const std::vector<RowId> rows = DrainRows(stream.value().get());
+  EXPECT_TRUE(stream.value()->stream_status().ok());
+  EXPECT_EQ(rows.size(), m.num_rows());
+  EXPECT_EQ(stats.open_failures.load(), 2u);
+}
+
+TEST(ResilientStreamTest, OpenFailsOnceRetriesExhausted) {
+  const BinaryMatrix m = SmallMatrix();
+  OpenFlakySource flaky(&m, /*failing_opens=*/5);
+  ResilientSource source(&flaky, FastOptions(3));
+  auto stream = source.Open();
+  EXPECT_FALSE(stream.ok());
+  EXPECT_EQ(stream.status().code(), StatusCode::kIOError);
+}
+
+TEST(ResilientStreamTest, ReopensAndFastForwardsAfterMidScanFault) {
+  const BinaryMatrix m = SmallMatrix();
+  TransientMidScanSource flaky(&m, /*fail_row=*/100);
+  ResilienceStats stats;
+  ResilientSource source(&flaky, FastOptions(3), &stats);
+
+  auto stream = source.Open();
+  ASSERT_TRUE(stream.ok());
+  const std::vector<RowId> rows = DrainRows(stream.value().get());
+  EXPECT_TRUE(stream.value()->stream_status().ok());
+  ASSERT_EQ(rows.size(), m.num_rows());
+  for (RowId r = 0; r < m.num_rows(); ++r) EXPECT_EQ(rows[r], r);
+  EXPECT_GE(stats.reopens.load(), 1u);
+}
+
+TEST(ResilientStreamTest, MinerRecoversWithIdenticalPairs) {
+  // A transient mid-scan fault retried by the wrapper must not change
+  // the mining result in any way.
+  const BinaryMatrix m = SmallMatrix();
+  MhMinerConfig config;
+  config.min_hash.num_hashes = 16;
+
+  InMemorySource clean(&m);
+  MhMiner baseline_miner(config);
+  auto baseline = baseline_miner.Mine(clean, 0.5);
+  ASSERT_TRUE(baseline.ok());
+
+  TransientMidScanSource flaky(&m, /*fail_row=*/50);
+  ResilienceStats stats;
+  ResilientSource source(&flaky, FastOptions(3), &stats);
+  MhMiner miner(config);
+  auto recovered = miner.Mine(source, 0.5);
+  ASSERT_TRUE(recovered.ok());
+
+  EXPECT_GE(stats.reopens.load(), 1u);
+  EXPECT_EQ(recovered->candidates, baseline->candidates);
+  ASSERT_EQ(recovered->pairs.size(), baseline->pairs.size());
+  for (size_t i = 0; i < baseline->pairs.size(); ++i) {
+    EXPECT_EQ(recovered->pairs[i].pair, baseline->pairs[i].pair);
+    EXPECT_DOUBLE_EQ(recovered->pairs[i].similarity,
+                     baseline->pairs[i].similarity);
+  }
+}
+
+TEST(ResilientStreamTest, PersistentBadRowFailsWithoutDegradedMode) {
+  const BinaryMatrix m = SmallMatrix();
+  BadRowsSource bad(&m, {7});
+  ResilientSource source(&bad, FastOptions(2));
+  auto stream = source.Open();
+  ASSERT_TRUE(stream.ok());
+  DrainRows(stream.value().get());
+  EXPECT_FALSE(stream.value()->stream_status().ok());
+}
+
+TEST(ResilientStreamTest, DegradedModeSkipsBadRowWithinBudget) {
+  const BinaryMatrix m = SmallMatrix();
+  BadRowsSource bad(&m, {7});
+  ResilienceOptions options = FastOptions(1);
+  options.degraded_mode = true;
+  options.max_skipped_rows = 2;
+  ResilienceStats stats;
+  ResilientSource source(&bad, options, &stats);
+
+  auto stream = source.Open();
+  ASSERT_TRUE(stream.ok());
+  const std::vector<RowId> rows = DrainRows(stream.value().get());
+  EXPECT_TRUE(stream.value()->stream_status().ok());
+  EXPECT_EQ(rows.size(), m.num_rows() - 1);
+  for (RowId r : rows) EXPECT_NE(r, 7u);
+  EXPECT_EQ(stats.rows_skipped.load(), 1u);
+  EXPECT_EQ(stats.SkippedRows(), std::vector<RowId>{7});
+}
+
+TEST(ResilientStreamTest, SkippedRowBudgetIsEnforced) {
+  const BinaryMatrix m = SmallMatrix();
+  BadRowsSource bad(&m, {3, 90});
+  ResilienceOptions options = FastOptions(1);
+  options.degraded_mode = true;
+  options.max_skipped_rows = 1;
+  ResilientSource source(&bad, options);
+
+  auto stream = source.Open();
+  ASSERT_TRUE(stream.ok());
+  DrainRows(stream.value().get());
+  EXPECT_EQ(stream.value()->stream_status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ResilientStreamTest, DegradedMinerReportsSkips) {
+  const BinaryMatrix m = SmallMatrix();
+  BadRowsSource bad(&m, {11});
+  ResilienceOptions options = FastOptions(1);
+  options.degraded_mode = true;
+  options.max_skipped_rows = 8;
+  ResilienceStats stats;
+  ResilientSource source(&bad, options, &stats);
+
+  MhMinerConfig config;
+  config.min_hash.num_hashes = 16;
+  MhMiner miner(config);
+  auto report = miner.Mine(source, 0.5);
+  ASSERT_TRUE(report.ok());
+  // Both scans (signatures + verification) drop the bad row.
+  EXPECT_EQ(stats.rows_skipped.load(), 2u);
 }
 
 }  // namespace

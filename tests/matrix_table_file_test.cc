@@ -148,6 +148,93 @@ TEST_F(TableFileTest, TruncatedFileIsDetected) {
             StatusCode::kCorruption);
 }
 
+void OverwriteByte(const std::string& path, long offset, char value) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekp(offset);
+  f.write(&value, 1);
+}
+
+// Layout of SmallMatrix() on disk: 16-byte header, then
+//   row 0: count @16, entries {0,4} @20
+//   row 1: count @28
+//   row 2: count @32, entries {1,2,3} @36
+//   row 3: count @48, entry {2} @52
+//   v2 trailer @56.
+
+TEST_F(TableFileTest, SilentBitFlipCaughtByChecksum) {
+  const std::string path = Path("flip.sans");
+  ASSERT_TRUE(WriteTableFile(SmallMatrix(), path).ok());
+  // Turn row 0 from {0,4} into {3,4}: still sorted, still in range —
+  // without the trailer this would load as silently wrong data.
+  OverwriteByte(path, 20, 3);
+
+  auto loaded = ReadTableFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+
+  // Streaming sees every row (framing is fine); the error surfaces
+  // only when the scan reaches the trailer.
+  auto reader = TableFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  RowView view;
+  int rows = 0;
+  while (reader.value()->Next(&view)) ++rows;
+  EXPECT_EQ(rows, 4);
+  EXPECT_EQ(reader.value()->stream_status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(TableFileTest, VersionOneFilesStillLoad) {
+  const BinaryMatrix m = SmallMatrix();
+  const std::string path = Path("v1.sans");
+  ASSERT_TRUE(WriteTableFile(m, path).ok());
+  // Rewrite the version field to 1 and drop the trailer — exactly the
+  // bytes a pre-checksum writer produced.
+  OverwriteByte(path, 4, 1);
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 4);
+
+  auto reader = TableFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value()->version(), 1u);
+
+  auto loaded = ReadTableFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_ones(), m.num_ones());
+  for (RowId r = 0; r < m.num_rows(); ++r) {
+    const auto a = m.Row(r);
+    const auto b = loaded->Row(r);
+    ASSERT_EQ(std::vector<ColumnId>(a.begin(), a.end()),
+              std::vector<ColumnId>(b.begin(), b.end()));
+  }
+}
+
+TEST_F(TableFileTest, InvalidRowEntriesAreResumable) {
+  const std::string path = Path("badrow.sans");
+  ASSERT_TRUE(WriteTableFile(SmallMatrix(), path).ok());
+  // Row 2 becomes {1,0,3}: out of order, caught by validation with
+  // framing intact, so the scan can resume past it.
+  OverwriteByte(path, 40, 0);
+
+  auto reader = TableFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  RowView view;
+  ASSERT_TRUE(reader.value()->Next(&view));
+  EXPECT_EQ(view.row, 0u);
+  ASSERT_TRUE(reader.value()->Next(&view));
+  EXPECT_EQ(view.row, 1u);
+  // Bad row: one failed Next() with a row-level error...
+  ASSERT_FALSE(reader.value()->Next(&view));
+  EXPECT_EQ(reader.value()->stream_status().code(),
+            StatusCode::kCorruption);
+  // ...and the stream resumes on the row after it.
+  ASSERT_TRUE(reader.value()->Next(&view));
+  EXPECT_EQ(view.row, 3u);
+  ASSERT_FALSE(reader.value()->Next(&view));
+  EXPECT_TRUE(reader.value()->stream_status().ok());
+}
+
 TEST_F(TableFileTest, EmptyMatrixRoundTrips) {
   BinaryMatrix empty(3, 2);
   const std::string path = Path("empty.sans");

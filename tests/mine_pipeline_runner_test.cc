@@ -1,0 +1,349 @@
+#include "mine/pipeline_runner.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "candgen/candidate_io.h"
+#include "data/synthetic_generator.h"
+#include "matrix/row_stream.h"
+
+namespace sans {
+namespace {
+
+class PipelineRunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sans_pipeline_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Dir() const { return dir_.string(); }
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static int counter_;
+  std::filesystem::path dir_;
+};
+
+int PipelineRunnerTest::counter_ = 0;
+
+BinaryMatrix TestMatrix() {
+  SyntheticConfig config;
+  config.num_rows = 400;
+  config.num_cols = 60;
+  config.bands = {{4, 70.0, 90.0}};
+  config.spread_pairs = false;
+  config.seed = 17;
+  auto d = GenerateSynthetic(config);
+  EXPECT_TRUE(d.ok());
+  return std::move(d->matrix);
+}
+
+PipelineConfig MlshConfig(const std::string& dir) {
+  PipelineConfig config;
+  config.algorithm = PipelineAlgorithm::kMlsh;
+  config.threshold = 0.6;
+  config.mlsh.lsh.rows_per_band = 4;
+  config.mlsh.lsh.num_bands = 8;
+  config.mlsh.seed = 5;
+  config.checkpoint_dir = dir;
+  return config;
+}
+
+void ExpectSameReport(const MiningReport& a, const MiningReport& b) {
+  EXPECT_EQ(a.candidates, b.candidates);
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (size_t i = 0; i < a.pairs.size(); ++i) {
+    EXPECT_EQ(a.pairs[i].pair, b.pairs[i].pair);
+    EXPECT_DOUBLE_EQ(a.pairs[i].similarity, b.pairs[i].similarity);
+  }
+}
+
+TEST_F(PipelineRunnerTest, ValidateCatchesBadConfig) {
+  PipelineConfig config = MlshConfig(Dir());
+  EXPECT_TRUE(config.Validate().ok());
+  config.threshold = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = MlshConfig("");
+  EXPECT_FALSE(config.Validate().ok());
+  config = MlshConfig(Dir());
+  config.resilience.degraded_mode = true;  // budget still 0
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST_F(PipelineRunnerTest, CleanRunMatchesDirectMiner) {
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  const PipelineConfig config = MlshConfig(Dir());
+
+  PipelineRunner runner(config);
+  auto summary = runner.Run(source);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_FALSE(summary->reused_signatures);
+  EXPECT_FALSE(summary->reused_candidates);
+  EXPECT_FALSE(summary->reused_pairs);
+
+  MlshMinerConfig direct;
+  direct.lsh.rows_per_band = 4;
+  direct.lsh.num_bands = 8;
+  direct.seed = 5;
+  MlshMiner miner(direct);
+  auto report = miner.Mine(source, 0.6);
+  ASSERT_TRUE(report.ok());
+  ExpectSameReport(summary->report, *report);
+  EXPECT_GT(summary->report.pairs.size(), 0u);
+}
+
+TEST_F(PipelineRunnerTest, FullResumeReusesEveryStage) {
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  PipelineConfig config = MlshConfig(Dir());
+
+  PipelineRunner runner(config);
+  auto first = runner.Run(source);
+  ASSERT_TRUE(first.ok());
+
+  config.resume = true;
+  PipelineRunner resumed(config);
+  auto second = resumed.Run(source);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->reused_signatures);
+  EXPECT_TRUE(second->reused_candidates);
+  EXPECT_TRUE(second->reused_pairs);
+  ExpectSameReport(second->report, first->report);
+}
+
+TEST_F(PipelineRunnerTest, ResumeAfterLostPairsReusesEarlierStages) {
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  PipelineConfig config = MlshConfig(Dir());
+
+  PipelineRunner runner(config);
+  auto first = runner.Run(source);
+  ASSERT_TRUE(first.ok());
+
+  // Simulate a crash after phase 2: the verification artifact is gone.
+  std::filesystem::remove(Path(PipelineRunner::kPairsFile));
+
+  config.resume = true;
+  PipelineRunner resumed(config);
+  auto second = resumed.Run(source);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->reused_signatures);
+  EXPECT_TRUE(second->reused_candidates);
+  EXPECT_FALSE(second->reused_pairs);
+  ExpectSameReport(second->report, first->report);
+}
+
+TEST_F(PipelineRunnerTest, CorruptSignatureArtifactIsRecomputed) {
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  PipelineConfig config = MlshConfig(Dir());
+
+  PipelineRunner runner(config);
+  auto first = runner.Run(source);
+  ASSERT_TRUE(first.ok());
+
+  {
+    // Flip one byte in the middle of the signature artifact.
+    std::fstream f(Path(PipelineRunner::kSignaturesFile),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(40);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(40);
+    byte = static_cast<char>(byte ^ 0x20);
+    f.write(&byte, 1);
+  }
+
+  config.resume = true;
+  PipelineRunner resumed(config);
+  auto second = resumed.Run(source);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->reused_signatures);
+  ExpectSameReport(second->report, first->report);
+}
+
+TEST_F(PipelineRunnerTest, ChangedConfigInvalidatesCheckpoints) {
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  PipelineConfig config = MlshConfig(Dir());
+
+  PipelineRunner runner(config);
+  ASSERT_TRUE(runner.Run(source).ok());
+
+  config.resume = true;
+  config.threshold = 0.7;  // fingerprint changes
+  PipelineRunner resumed(config);
+  auto second = resumed.Run(source);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->reused_signatures);
+  EXPECT_FALSE(second->reused_candidates);
+  EXPECT_FALSE(second->reused_pairs);
+}
+
+TEST_F(PipelineRunnerTest, ResumeWithoutCheckpointsStartsClean) {
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  PipelineConfig config = MlshConfig(Dir());
+  config.resume = true;  // nothing checkpointed yet
+  PipelineRunner runner(config);
+  auto summary = runner.Run(source);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_FALSE(summary->reused_signatures);
+  EXPECT_GT(summary->report.pairs.size(), 0u);
+}
+
+TEST_F(PipelineRunnerTest, EveryAlgorithmMatchesItsMiner) {
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+
+  {
+    PipelineConfig config;
+    config.algorithm = PipelineAlgorithm::kMh;
+    config.threshold = 0.6;
+    config.mh.min_hash.num_hashes = 24;
+    config.mh.min_hash.seed = 3;
+    config.checkpoint_dir = Path("mh");
+    PipelineRunner runner(config);
+    auto summary = runner.Run(source);
+    ASSERT_TRUE(summary.ok());
+    MhMiner miner(config.mh);
+    auto report = miner.Mine(source, 0.6);
+    ASSERT_TRUE(report.ok());
+    ExpectSameReport(summary->report, *report);
+  }
+  {
+    PipelineConfig config;
+    config.algorithm = PipelineAlgorithm::kKmh;
+    config.threshold = 0.6;
+    config.kmh.sketch.k = 24;
+    config.kmh.sketch.seed = 3;
+    config.checkpoint_dir = Path("kmh");
+    PipelineRunner runner(config);
+    auto summary = runner.Run(source);
+    ASSERT_TRUE(summary.ok());
+    KmhMiner miner(config.kmh);
+    auto report = miner.Mine(source, 0.6);
+    ASSERT_TRUE(report.ok());
+    ExpectSameReport(summary->report, *report);
+  }
+  {
+    PipelineConfig config;
+    config.algorithm = PipelineAlgorithm::kHlsh;
+    config.threshold = 0.6;
+    config.hlsh.lsh.rows_per_run = 8;
+    config.hlsh.lsh.num_runs = 4;
+    config.hlsh.lsh.seed = 3;
+    config.checkpoint_dir = Path("hlsh");
+    PipelineRunner runner(config);
+    auto summary = runner.Run(source);
+    ASSERT_TRUE(summary.ok());
+    HlshMiner miner(config.hlsh);
+    auto report = miner.Mine(source, 0.6);
+    ASSERT_TRUE(report.ok());
+    ExpectSameReport(summary->report, *report);
+  }
+}
+
+TEST_F(PipelineRunnerTest, ResumeIsBitIdenticalForEveryAlgorithm) {
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  const PipelineAlgorithm algorithms[] = {
+      PipelineAlgorithm::kMh, PipelineAlgorithm::kKmh,
+      PipelineAlgorithm::kMlsh, PipelineAlgorithm::kHlsh};
+  for (PipelineAlgorithm algorithm : algorithms) {
+    PipelineConfig config = MlshConfig(Path(PipelineAlgorithmName(algorithm)));
+    config.algorithm = algorithm;
+    config.mh.min_hash.num_hashes = 24;
+    config.kmh.sketch.k = 24;
+    config.hlsh.lsh.rows_per_run = 8;
+
+    PipelineRunner runner(config);
+    auto first = runner.Run(source);
+    ASSERT_TRUE(first.ok()) << PipelineAlgorithmName(algorithm);
+
+    // Lose the verification artifact; phase 1-2 checkpoints survive.
+    std::filesystem::remove(Path(std::string(PipelineAlgorithmName(algorithm)) +
+                                 "/" + PipelineRunner::kPairsFile));
+    config.resume = true;
+    PipelineRunner resumed(config);
+    auto second = resumed.Run(source);
+    ASSERT_TRUE(second.ok()) << PipelineAlgorithmName(algorithm);
+    EXPECT_TRUE(second->reused_signatures) << PipelineAlgorithmName(algorithm);
+    ExpectSameReport(second->report, first->report);
+  }
+}
+
+TEST_F(PipelineRunnerTest, FingerprintCoversSourceShape) {
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  const PipelineConfig config = MlshConfig(Dir());
+  PipelineRunner runner(config);
+  const std::string a = runner.FingerprintString(source);
+
+  auto wider = BinaryMatrix::FromRows(2, 61, {{0}, {1}});
+  ASSERT_TRUE(wider.ok());
+  InMemorySource other(&wider.value());
+  EXPECT_NE(a, runner.FingerprintString(other));
+}
+
+TEST_F(PipelineRunnerTest, CandidateIoRoundTrips) {
+  std::filesystem::create_directories(Dir());
+  CandidateSet candidates;
+  candidates.Add(ColumnPair(1, 5), 3);
+  candidates.Add(ColumnPair(0, 2), 7);
+  candidates.Insert(ColumnPair(4, 9));
+  const std::string path = Path("cands.bin");
+  ASSERT_TRUE(WriteCandidateSet(candidates, path).ok());
+  auto loaded = ReadCandidateSet(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->SortedEntries(), candidates.SortedEntries());
+
+  std::vector<SimilarPair> pairs = {
+      {ColumnPair(0, 2), 0.8125},
+      {ColumnPair(1, 5), 0.123456789012345678},  // exercises exact bits
+  };
+  const std::string pairs_path = Path("pairs.bin");
+  ASSERT_TRUE(WriteSimilarPairs(pairs, pairs_path).ok());
+  auto loaded_pairs = ReadSimilarPairs(pairs_path);
+  ASSERT_TRUE(loaded_pairs.ok());
+  ASSERT_EQ(loaded_pairs->size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ((*loaded_pairs)[i].pair, pairs[i].pair);
+    EXPECT_EQ((*loaded_pairs)[i].similarity, pairs[i].similarity);
+  }
+}
+
+TEST_F(PipelineRunnerTest, CorruptCandidateArtifactRejected) {
+  std::filesystem::create_directories(Dir());
+  CandidateSet candidates;
+  candidates.Add(ColumnPair(1, 5), 3);
+  candidates.Add(ColumnPair(2, 6), 1);
+  const std::string path = Path("cands.bin");
+  ASSERT_TRUE(WriteCandidateSet(candidates, path).ok());
+  {
+    // Offset 16 is the first pair's first column id: the flip yields
+    // a still-plausible entry only the checksum can catch.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(16);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(16);
+    byte = static_cast<char>(byte ^ 0x04);
+    f.write(&byte, 1);
+  }
+  auto loaded = ReadCandidateSet(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace sans

@@ -127,6 +127,111 @@ TEST_F(SketchIoTest, TruncationDetected) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
 }
 
+void FlipByte(const std::string& path, long offset, char mask) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(offset);
+  char byte = 0;
+  f.read(&byte, 1);
+  f.seekp(offset);
+  byte = static_cast<char>(byte ^ mask);
+  f.write(&byte, 1);
+}
+
+/// Rewrites the version field (offset 4) to 1 and drops the 4-byte
+/// trailer, producing exactly what a pre-checksum writer emitted.
+void DowngradeToV1(const std::string& path) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  const uint32_t v1 = 1;
+  f.seekp(4);
+  f.write(reinterpret_cast<const char*>(&v1), sizeof(v1));
+  f.close();
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 4);
+}
+
+TEST_F(SketchIoTest, SignatureBitFlipCaughtByChecksum) {
+  const BinaryMatrix m = TestMatrix();
+  MinHashConfig config;
+  config.num_hashes = 6;
+  config.seed = 5;
+  MinHashGenerator generator(config);
+  InMemoryRowStream stream(&m);
+  auto signatures = generator.Compute(&stream);
+  ASSERT_TRUE(signatures.ok());
+  const std::string path = Path("sig.sans");
+  ASSERT_TRUE(WriteSignatureMatrix(*signatures, path).ok());
+  // Offset 16 is the first hash value: any value parses as valid
+  // payload, so only the checksum can notice the flip.
+  FlipByte(path, 16, 0x01);
+  auto loaded = ReadSignatureMatrix(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(SketchIoTest, SketchBitFlipCaughtByChecksum) {
+  const BinaryMatrix m = TestMatrix();
+  KMinHashConfig config;
+  config.k = 8;
+  config.seed = 7;
+  KMinHashGenerator generator(config);
+  InMemoryRowStream stream(&m);
+  auto sketch = generator.Compute(&stream);
+  ASSERT_TRUE(sketch.ok());
+  const std::string path = Path("sketch.sans");
+  ASSERT_TRUE(WriteKMinHashSketch(*sketch, path).ok());
+  // High byte of column 0's cardinality (u64 at offset 16): the
+  // corrupted value still satisfies every structural check.
+  FlipByte(path, 22, 0x01);
+  auto loaded = ReadKMinHashSketch(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(SketchIoTest, VersionOneSignatureFileStillLoads) {
+  const BinaryMatrix m = TestMatrix();
+  MinHashConfig config;
+  config.num_hashes = 6;
+  config.seed = 5;
+  MinHashGenerator generator(config);
+  InMemoryRowStream stream(&m);
+  auto signatures = generator.Compute(&stream);
+  ASSERT_TRUE(signatures.ok());
+  const std::string path = Path("sig_v1.sans");
+  ASSERT_TRUE(WriteSignatureMatrix(*signatures, path).ok());
+  DowngradeToV1(path);
+  auto loaded = ReadSignatureMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  for (int l = 0; l < 6; ++l) {
+    for (ColumnId c = 0; c < loaded->num_cols(); ++c) {
+      EXPECT_EQ(loaded->Value(l, c), signatures->Value(l, c));
+    }
+  }
+}
+
+TEST_F(SketchIoTest, VersionOneSketchFileStillLoads) {
+  const BinaryMatrix m = TestMatrix();
+  KMinHashConfig config;
+  config.k = 8;
+  config.seed = 7;
+  KMinHashGenerator generator(config);
+  InMemoryRowStream stream(&m);
+  auto sketch = generator.Compute(&stream);
+  ASSERT_TRUE(sketch.ok());
+  const std::string path = Path("sketch_v1.sans");
+  ASSERT_TRUE(WriteKMinHashSketch(*sketch, path).ok());
+  DowngradeToV1(path);
+  auto loaded = ReadKMinHashSketch(path);
+  ASSERT_TRUE(loaded.ok());
+  for (ColumnId c = 0; c < loaded->num_cols(); ++c) {
+    const auto a = sketch->Signature(c);
+    const auto b = loaded->Signature(c);
+    EXPECT_EQ(std::vector<uint64_t>(a.begin(), a.end()),
+              std::vector<uint64_t>(b.begin(), b.end()));
+  }
+}
+
 TEST_F(SketchIoTest, MissingFileIsIOError) {
   EXPECT_EQ(ReadSignatureMatrix(Path("nope")).status().code(),
             StatusCode::kIOError);

@@ -1,0 +1,136 @@
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sans {
+namespace {
+
+/// Sleeper that records requested delays instead of sleeping.
+RetrySleeper Recorder(std::vector<double>* delays) {
+  return [delays](double ms) { delays->push_back(ms); };
+}
+
+TEST(RetryPolicyTest, ValidateRejectsBadFields) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.Validate().ok());
+  policy.max_attempts = 0;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy = RetryPolicy{};
+  policy.backoff_multiplier = 0.5;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy = RetryPolicy{};
+  policy.jitter = 1.5;
+  EXPECT_FALSE(policy.Validate().ok());
+}
+
+TEST(RetryPolicyTest, BackoffGrowsAndCaps) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10.0;
+  policy.backoff_multiplier = 3.0;
+  policy.max_backoff_ms = 50.0;
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(1, nullptr), 10.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(2, nullptr), 30.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(3, nullptr), 50.0);  // capped
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinBand) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 100.0;
+  policy.jitter = 0.25;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 64; ++i) {
+    const double d = policy.BackoffMs(1, &rng);
+    EXPECT_GE(d, 75.0);
+    EXPECT_LT(d, 125.0);
+  }
+}
+
+TEST(RunWithRetryTest, SucceedsAfterTransientFailures) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  std::vector<double> delays;
+  RetryStats stats;
+  const Status s = RunWithRetry(
+      policy,
+      [&]() -> Status {
+        ++calls;
+        if (calls < 3) return Status::IOError("flaky");
+        return Status::OK();
+      },
+      &stats, Recorder(&delays));
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.failures_seen, 2u);
+  EXPECT_EQ(delays.size(), 2u);
+}
+
+TEST(RunWithRetryTest, GivesUpAfterMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  std::vector<double> delays;
+  const Status s = RunWithRetry(
+      policy, [&]() -> Status { ++calls; return Status::IOError("down"); },
+      nullptr, Recorder(&delays));
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(delays.size(), 2u);  // no sleep after the final failure
+}
+
+TEST(RunWithRetryTest, NonRetryableErrorFailsImmediately) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  std::vector<double> delays;
+  const Status s = RunWithRetry(
+      policy,
+      [&]() -> Status {
+        ++calls;
+        return Status::Corruption("bad checksum");
+      },
+      nullptr, Recorder(&delays));
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(delays.empty());
+}
+
+TEST(RunWithRetryTest, SupportsResultReturningFunctions) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  int calls = 0;
+  std::vector<double> delays;
+  Result<int> r = RunWithRetry(
+      policy,
+      [&]() -> Result<int> {
+        ++calls;
+        if (calls < 2) return Status::IOError("flaky");
+        return 42;
+      },
+      nullptr, Recorder(&delays));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RunWithRetryTest, SingleAttemptPolicyNeverRetries) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  int calls = 0;
+  RetryStats stats;
+  std::vector<double> delays;
+  const Status s = RunWithRetry(
+      policy, [&]() -> Status { ++calls; return Status::IOError("x"); },
+      &stats, Recorder(&delays));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.failures_seen, 1u);
+}
+
+}  // namespace
+}  // namespace sans

@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "data/dataset_io.h"
@@ -41,6 +42,7 @@
 #include "mine/mh_miner.h"
 #include "mine/miner.h"
 #include "mine/mlsh_miner.h"
+#include "mine/pipeline_runner.h"
 #include "sketch/estimators.h"
 #include "sketch/sketch_io.h"
 #include "util/status.h"
@@ -48,17 +50,34 @@
 namespace sans::cli {
 namespace {
 
-/// Minimal --flag value parser; flags may appear in any order.
+/// Minimal --flag value parser; flags may appear in any order. A flag
+/// followed by another flag (or the end of the line) is boolean — so
+/// bare switches like --resume need no explicit "1".
 class Args {
  public:
   Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
         std::exit(2);
       }
-      values_[argv[i] + 2] = argv[i + 1];
+      const std::string key(argv[i] + 2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_.insert_or_assign(key, std::string(argv[i + 1]));
+        ++i;
+      } else {
+        values_.insert_or_assign(key, std::string("1"));
+      }
     }
+  }
+
+  bool Has(const std::string& key) const {
+    return values_.find(key) != values_.end();
+  }
+  bool GetBool(const std::string& key, bool fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return it->second != "0" && it->second != "false";
   }
 
   std::string GetString(const std::string& key,
@@ -101,6 +120,8 @@ int Usage() {
       "            [--cols N] [--seed S]\n"
       "  mine      --in FILE --algorithm mh|kmh|mlsh|hlsh|auto\n"
       "            [--threshold S] [--k K] [--r R] [--l L] [--seed S]\n"
+      "            [--checkpoint-dir DIR] [--resume] [--max-retries N]\n"
+      "            [--max-skipped-rows N]\n"
       "  rules     --in FILE [--threshold C] [--k K] [--seed S]\n"
       "  exclusions --in FILE [--support F] [--max-lift F]\n"
       "  truth     --in FILE [--threshold S]\n"
@@ -187,7 +208,108 @@ int PrintPairs(const MiningReport& report) {
   return 0;
 }
 
+/// Checkpointed mining via the fault-tolerant pipeline runner.
+/// Selected by --checkpoint-dir; --resume reuses completed stages,
+/// --max-retries and --max-skipped-rows tune the resilient scans.
+int RunPipelineMine(const Args& args, const std::string& algorithm) {
+  PipelineConfig config;
+  const uint64_t seed = args.GetInt("seed", 0);
+  if (algorithm == "mh") {
+    config.algorithm = PipelineAlgorithm::kMh;
+    config.mh.min_hash.num_hashes = static_cast<int>(args.GetInt("k", 100));
+    config.mh.min_hash.seed = seed;
+    config.mh.delta = args.GetDouble("delta", 0.25);
+  } else if (algorithm == "kmh") {
+    config.algorithm = PipelineAlgorithm::kKmh;
+    config.kmh.sketch.k = static_cast<int>(args.GetInt("k", 100));
+    config.kmh.sketch.seed = seed;
+    config.kmh.delta = args.GetDouble("delta", 0.25);
+  } else if (algorithm == "mlsh") {
+    config.algorithm = PipelineAlgorithm::kMlsh;
+    config.mlsh.lsh.rows_per_band = static_cast<int>(args.GetInt("r", 5));
+    config.mlsh.lsh.num_bands = static_cast<int>(args.GetInt("l", 20));
+    config.mlsh.seed = seed;
+  } else if (algorithm == "hlsh") {
+    config.algorithm = PipelineAlgorithm::kHlsh;
+    config.hlsh.lsh.rows_per_run = static_cast<int>(args.GetInt("r", 12));
+    config.hlsh.lsh.num_runs = static_cast<int>(args.GetInt("l", 4));
+    config.hlsh.lsh.seed = seed;
+  } else {
+    // "auto" derives (r, l) from the data, so its parameters are not a
+    // pure function of the flags and a resumed run could not prove the
+    // checkpoints match.
+    std::fprintf(stderr,
+                 "--checkpoint-dir requires an explicit algorithm "
+                 "(mh|kmh|mlsh|hlsh), got '%s'\n",
+                 algorithm.c_str());
+    return 2;
+  }
+  config.threshold = args.GetDouble("threshold", 0.5);
+  config.checkpoint_dir = args.Require("checkpoint-dir");
+  config.resume = args.GetBool("resume", false);
+  const int64_t max_retries = args.GetInt("max-retries", 2);
+  if (max_retries < 0) {
+    std::fprintf(stderr, "--max-retries must be >= 0\n");
+    return 2;
+  }
+  config.resilience.retry.max_attempts = static_cast<int>(max_retries) + 1;
+  const int64_t max_skipped = args.GetInt("max-skipped-rows", 0);
+  if (max_skipped < 0) {
+    std::fprintf(stderr, "--max-skipped-rows must be >= 0\n");
+    return 2;
+  }
+  config.resilience.degraded_mode = max_skipped > 0;
+  config.resilience.max_skipped_rows = static_cast<uint64_t>(max_skipped);
+  if (const Status s = config.Validate(); !s.ok()) return Fail(s);
+
+  // .sans inputs stream straight from disk (so a mid-scan fault is
+  // genuinely recoverable by re-opening the file); text transactions
+  // are loaded once up front.
+  const std::string in = args.Require("in");
+  std::optional<TableFileSource> file_source;
+  Result<BinaryMatrix> matrix = Status::Unimplemented("");
+  std::optional<InMemorySource> memory_source;
+  const RowStreamSource* source = nullptr;
+  if (in.size() >= 5 && in.substr(in.size() - 5) == ".sans") {
+    auto opened = TableFileSource::Create(in);
+    if (!opened.ok()) return Fail(opened.status());
+    file_source.emplace(std::move(opened).value());
+    source = &*file_source;
+  } else {
+    matrix = LoadTransactions(in);
+    if (!matrix.ok()) return Fail(matrix.status());
+    memory_source.emplace(&matrix.value());
+    source = &*memory_source;
+  }
+
+  PipelineRunner runner(config);
+  auto summary = runner.Run(*source);
+  if (!summary.ok()) return Fail(summary.status());
+  for (const std::string& line : summary->log) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+  if (summary->stream_reopens > 0 || summary->open_failures > 0 ||
+      summary->rows_skipped > 0) {
+    std::fprintf(stderr,
+                 "[pipeline] faults: reopens=%llu open_failures=%llu "
+                 "rows_skipped=%llu\n",
+                 static_cast<unsigned long long>(summary->stream_reopens),
+                 static_cast<unsigned long long>(summary->open_failures),
+                 static_cast<unsigned long long>(summary->rows_skipped));
+  }
+  return PrintPairs(summary->report);
+}
+
 int RunMine(const Args& args) {
+  if (args.Has("checkpoint-dir")) {
+    return RunPipelineMine(args, args.GetString("algorithm", "mlsh"));
+  }
+  if (args.Has("resume") || args.Has("max-retries") ||
+      args.Has("max-skipped-rows")) {
+    std::fprintf(stderr,
+                 "warning: --resume/--max-retries/--max-skipped-rows take "
+                 "effect only with --checkpoint-dir; ignoring\n");
+  }
   auto matrix = LoadInput(args.Require("in"));
   if (!matrix.ok()) return Fail(matrix.status());
   InMemorySource source(&matrix.value());
