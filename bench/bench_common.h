@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/weblog_generator.h"
@@ -56,6 +57,53 @@ inline WeblogBench MakeWeblogBench() {
                static_cast<unsigned long long>(dataset->matrix.num_ones()),
                pairs->size());
   return WeblogBench{std::move(dataset).value(), GroundTruth(*pairs)};
+}
+
+/// One timed phase measurement for the machine-readable bench output.
+struct BenchPhaseResult {
+  std::string phase;
+  int threads = 1;
+  double seconds = 0.0;
+  /// Input rows divided by seconds (nominal for the in-memory
+  /// candidate-generation phase, which scans columns, not rows).
+  double rows_per_sec = 0.0;
+  double speedup_vs_1_thread = 1.0;
+};
+
+inline std::string JsonNumber(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+/// Writes a BENCH_<name>.json document: flat context key/values (raw
+/// JSON fragments, so quote strings yourself) plus one record per
+/// phase × thread-count measurement. Keys and phase names must be
+/// plain identifiers (no escaping is performed).
+inline void WriteBenchJson(
+    const std::string& path, const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& context,
+    const std::vector<BenchPhaseResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  SANS_CHECK(f != nullptr);
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name.c_str());
+  for (const auto& [key, value] : context) {
+    std::fprintf(f, "  \"%s\": %s,\n", key.c_str(), value.c_str());
+  }
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchPhaseResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"phase\": \"%s\", \"threads\": %d, "
+                 "\"seconds\": %s, \"rows_per_sec\": %s, "
+                 "\"speedup_vs_1_thread\": %s}%s\n",
+                 r.phase.c_str(), r.threads, JsonNumber(r.seconds).c_str(),
+                 JsonNumber(r.rows_per_sec).c_str(),
+                 JsonNumber(r.speedup_vs_1_thread).c_str(),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  SANS_CHECK_EQ(std::fclose(f), 0);
 }
 
 /// Renders one S-curve as a table column block: ratio per bin.

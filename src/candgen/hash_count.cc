@@ -1,44 +1,154 @@
 #include "candgen/hash_count.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
+#include "util/hashing.h"
 #include "util/status.h"
 
 namespace sans {
+namespace {
 
-CandidateSet HashCountKMinHash(const KMinHashSketch& sketch,
-                               uint64_t min_intersection) {
-  SANS_CHECK_GE(min_intersection, 1u);
-  const ColumnId m = sketch.num_cols();
+// One bucket key contributed by a column: which table it probes
+// (min-hash row l; always 0 for K-MH's single table) and the value.
+struct BucketKey {
+  int table;
+  uint64_t value;
+};
 
-  // value -> columns (with index < current) whose signature holds it.
-  std::unordered_map<uint64_t, std::vector<ColumnId>> buckets;
-  buckets.reserve(sketch.TotalSignatureSize());
-
-  CandidateSet candidates;
-  std::vector<uint64_t> counter(m, 0);
+// The probe/count/flush engine shared by every Hash-Count variant,
+// sequential and sharded — a single implementation so the variants
+// cannot drift. Columns are processed in ascending order; for column
+// i, each of its keys is probed against the bucket of earlier columns
+// holding the same key, accumulating per-pair collision counts in a
+// reused counter array; `emit(j, i, count)` fires once per earlier
+// column j with at least one collision; then i's keys are inserted.
+//
+// Uniform empty-column rule: a column whose `keys` callback produces
+// nothing is skipped entirely and can never become a candidate. The
+// Min-Hash keys callback returns nothing for all-sentinel (empty)
+// columns; empty K-MH signatures produce nothing naturally.
+template <typename KeysFn, typename EmitFn>
+void CountBucketCollisions(ColumnId num_cols, int num_tables,
+                           size_t bucket_reserve, const KeysFn& keys,
+                           const EmitFn& emit) {
+  std::vector<std::unordered_map<uint64_t, std::vector<ColumnId>>> tables(
+      num_tables);
+  if (num_tables == 1 && bucket_reserve > 0) {
+    tables[0].reserve(bucket_reserve);
+  }
+  std::vector<uint64_t> counter(num_cols, 0);
   std::vector<ColumnId> touched;
-  for (ColumnId i = 0; i < m; ++i) {
+  std::vector<BucketKey> column_keys;
+  for (ColumnId i = 0; i < num_cols; ++i) {
+    column_keys.clear();
+    keys(i, &column_keys);
+    if (column_keys.empty()) continue;
     touched.clear();
-    for (uint64_t value : sketch.Signature(i)) {
-      auto it = buckets.find(value);
-      if (it == buckets.end()) continue;
+    for (const BucketKey& key : column_keys) {
+      auto it = tables[key.table].find(key.value);
+      if (it == tables[key.table].end()) continue;
       for (ColumnId j : it->second) {
         if (counter[j] == 0) touched.push_back(j);
         ++counter[j];
       }
     }
     for (ColumnId j : touched) {
-      if (counter[j] >= min_intersection) {
-        candidates.Add(ColumnPair(j, i), counter[j]);
-      }
+      emit(j, i, counter[j]);
       counter[j] = 0;
     }
-    for (uint64_t value : sketch.Signature(i)) {
-      buckets[value].push_back(i);
+    for (const BucketKey& key : column_keys) {
+      tables[key.table][key.value].push_back(i);
     }
   }
+}
+
+// Shard ownership of a bucket value: every (table, value) key lands in
+// exactly one shard, so per-shard collision counts sum to the
+// sequential counts. Mix64 spreads skewed value distributions evenly.
+bool InShard(uint64_t value, int shard, int num_shards) {
+  return static_cast<int>(Mix64(value) %
+                          static_cast<uint64_t>(num_shards)) == shard;
+}
+
+// Sharded driver: runs CountBucketCollisions once per shard on the
+// pool (raw counts, no threshold), merges the shards' candidate sets
+// by summation, then applies `keep` to the exact totals.
+template <typename ShardKeysFn, typename KeepFn>
+Result<CandidateSet> ShardedBucketCount(ColumnId num_cols, int num_tables,
+                                        ThreadPool* pool,
+                                        const ShardKeysFn& shard_keys,
+                                        const KeepFn& keep) {
+  const int num_shards = pool->num_threads();
+  std::vector<CandidateSet> shards(num_shards);
+  SANS_RETURN_IF_ERROR(pool->ParallelFor(
+      num_shards, [&](int64_t shard) -> Status {
+        CandidateSet& partial = shards[shard];
+        CountBucketCollisions(
+            num_cols, num_tables, /*bucket_reserve=*/0,
+            [&](ColumnId i, std::vector<BucketKey>* out) {
+              shard_keys(i, static_cast<int>(shard), num_shards, out);
+            },
+            [&](ColumnId j, ColumnId i, uint64_t count) {
+              partial.Add(ColumnPair(j, i), count);
+            });
+        return Status::OK();
+      }));
+  CandidateSet merged;
+  for (const CandidateSet& shard : shards) {
+    merged.Merge(shard);
+  }
+  CandidateSet candidates;
+  for (const auto& [pair, count] : merged) {
+    if (keep(pair, count)) {
+      candidates.Add(pair, count);
+    }
+  }
+  return candidates;
+}
+
+void KMinHashKeys(const KMinHashSketch& sketch, ColumnId i,
+                  std::vector<BucketKey>* out) {
+  for (uint64_t value : sketch.Signature(i)) {
+    out->push_back(BucketKey{0, value});
+  }
+}
+
+void MinHashKeys(const SignatureMatrix& signatures, ColumnId i,
+                 std::vector<BucketKey>* out) {
+  if (signatures.ColumnEmpty(i)) return;  // uniform empty-column rule
+  for (int l = 0; l < signatures.num_hashes(); ++l) {
+    out->push_back(BucketKey{l, signatures.Value(l, i)});
+  }
+}
+
+// Per-pair threshold of the adaptive K-MH variant (Lemma 1; see
+// header): max(1, floor(fraction * max(|SIG_i|, |SIG_j|))).
+uint64_t AdaptiveThreshold(const KMinHashSketch& sketch, ColumnId i,
+                           ColumnId j, double fraction) {
+  const size_t larger_sig =
+      std::max(sketch.Signature(i).size(), sketch.Signature(j).size());
+  return std::max<uint64_t>(
+      1, static_cast<uint64_t>(fraction * static_cast<double>(larger_sig)));
+}
+
+}  // namespace
+
+CandidateSet HashCountKMinHash(const KMinHashSketch& sketch,
+                               uint64_t min_intersection) {
+  SANS_CHECK_GE(min_intersection, 1u);
+  CandidateSet candidates;
+  CountBucketCollisions(
+      sketch.num_cols(), /*num_tables=*/1, sketch.TotalSignatureSize(),
+      [&](ColumnId i, std::vector<BucketKey>* out) {
+        KMinHashKeys(sketch, i, out);
+      },
+      [&](ColumnId j, ColumnId i, uint64_t count) {
+        if (count >= min_intersection) {
+          candidates.Add(ColumnPair(j, i), count);
+        }
+      });
   return candidates;
 }
 
@@ -46,79 +156,106 @@ CandidateSet HashCountKMinHashAdaptive(const KMinHashSketch& sketch,
                                        double fraction) {
   SANS_CHECK_GE(fraction, 0.0);
   SANS_CHECK_LE(fraction, 1.0);
-  const ColumnId m = sketch.num_cols();
-
-  std::unordered_map<uint64_t, std::vector<ColumnId>> buckets;
-  buckets.reserve(sketch.TotalSignatureSize());
-
   CandidateSet candidates;
-  std::vector<uint64_t> counter(m, 0);
-  std::vector<ColumnId> touched;
-  for (ColumnId i = 0; i < m; ++i) {
-    const size_t sig_i = sketch.Signature(i).size();
-    touched.clear();
-    for (uint64_t value : sketch.Signature(i)) {
-      auto it = buckets.find(value);
-      if (it == buckets.end()) continue;
-      for (ColumnId j : it->second) {
-        if (counter[j] == 0) touched.push_back(j);
-        ++counter[j];
-      }
-    }
-    for (ColumnId j : touched) {
-      const size_t larger_sig =
-          std::max(sig_i, sketch.Signature(j).size());
-      const uint64_t threshold = std::max<uint64_t>(
-          1, static_cast<uint64_t>(fraction *
-                                   static_cast<double>(larger_sig)));
-      if (counter[j] >= threshold) {
-        candidates.Add(ColumnPair(j, i), counter[j]);
-      }
-      counter[j] = 0;
-    }
-    for (uint64_t value : sketch.Signature(i)) {
-      buckets[value].push_back(i);
-    }
-  }
+  CountBucketCollisions(
+      sketch.num_cols(), /*num_tables=*/1, sketch.TotalSignatureSize(),
+      [&](ColumnId i, std::vector<BucketKey>* out) {
+        KMinHashKeys(sketch, i, out);
+      },
+      [&](ColumnId j, ColumnId i, uint64_t count) {
+        if (count >= AdaptiveThreshold(sketch, i, j, fraction)) {
+          candidates.Add(ColumnPair(j, i), count);
+        }
+      });
   return candidates;
 }
 
 CandidateSet HashCountMinHash(const SignatureMatrix& signatures,
                               int min_agreements) {
   SANS_CHECK_GE(min_agreements, 1);
-  const int k = signatures.num_hashes();
-  const ColumnId m = signatures.num_cols();
-
+  CandidateSet candidates;
   // One bucket table per row of M̂ (paper: "we use a different hash
   // table (and set of buckets) for each row").
-  std::vector<std::unordered_map<uint64_t, std::vector<ColumnId>>> tables(k);
-
-  CandidateSet candidates;
-  std::vector<int> counter(m, 0);
-  std::vector<ColumnId> touched;
-  for (ColumnId i = 0; i < m; ++i) {
-    if (signatures.ColumnEmpty(i)) continue;
-    touched.clear();
-    for (int l = 0; l < k; ++l) {
-      const uint64_t value = signatures.Value(l, i);
-      auto it = tables[l].find(value);
-      if (it == tables[l].end()) continue;
-      for (ColumnId j : it->second) {
-        if (counter[j] == 0) touched.push_back(j);
-        ++counter[j];
-      }
-    }
-    for (ColumnId j : touched) {
-      if (counter[j] >= min_agreements) {
-        candidates.Add(ColumnPair(j, i), counter[j]);
-      }
-      counter[j] = 0;
-    }
-    for (int l = 0; l < k; ++l) {
-      tables[l][signatures.Value(l, i)].push_back(i);
-    }
-  }
+  CountBucketCollisions(
+      signatures.num_cols(), signatures.num_hashes(), /*bucket_reserve=*/0,
+      [&](ColumnId i, std::vector<BucketKey>* out) {
+        MinHashKeys(signatures, i, out);
+      },
+      [&](ColumnId j, ColumnId i, uint64_t count) {
+        if (count >= static_cast<uint64_t>(min_agreements)) {
+          candidates.Add(ColumnPair(j, i), count);
+        }
+      });
   return candidates;
+}
+
+Result<CandidateSet> HashCountKMinHashParallel(const KMinHashSketch& sketch,
+                                               uint64_t min_intersection,
+                                               ThreadPool* pool) {
+  SANS_CHECK_GE(min_intersection, 1u);
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    return HashCountKMinHash(sketch, min_intersection);
+  }
+  return ShardedBucketCount(
+      sketch.num_cols(), /*num_tables=*/1, pool,
+      [&](ColumnId i, int shard, int num_shards,
+          std::vector<BucketKey>* out) {
+        for (uint64_t value : sketch.Signature(i)) {
+          if (InShard(value, shard, num_shards)) {
+            out->push_back(BucketKey{0, value});
+          }
+        }
+      },
+      [&](ColumnPair /*pair*/, uint64_t count) {
+        return count >= min_intersection;
+      });
+}
+
+Result<CandidateSet> HashCountKMinHashAdaptiveParallel(
+    const KMinHashSketch& sketch, double fraction, ThreadPool* pool) {
+  SANS_CHECK_GE(fraction, 0.0);
+  SANS_CHECK_LE(fraction, 1.0);
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    return HashCountKMinHashAdaptive(sketch, fraction);
+  }
+  return ShardedBucketCount(
+      sketch.num_cols(), /*num_tables=*/1, pool,
+      [&](ColumnId i, int shard, int num_shards,
+          std::vector<BucketKey>* out) {
+        for (uint64_t value : sketch.Signature(i)) {
+          if (InShard(value, shard, num_shards)) {
+            out->push_back(BucketKey{0, value});
+          }
+        }
+      },
+      [&](ColumnPair pair, uint64_t count) {
+        return count >=
+               AdaptiveThreshold(sketch, pair.first, pair.second, fraction);
+      });
+}
+
+Result<CandidateSet> HashCountMinHashParallel(
+    const SignatureMatrix& signatures, int min_agreements, ThreadPool* pool) {
+  SANS_CHECK_GE(min_agreements, 1);
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    return HashCountMinHash(signatures, min_agreements);
+  }
+  const int k = signatures.num_hashes();
+  return ShardedBucketCount(
+      signatures.num_cols(), k, pool,
+      [&](ColumnId i, int shard, int num_shards,
+          std::vector<BucketKey>* out) {
+        if (signatures.ColumnEmpty(i)) return;  // uniform empty-column rule
+        for (int l = 0; l < k; ++l) {
+          const uint64_t value = signatures.Value(l, i);
+          if (InShard(value, shard, num_shards)) {
+            out->push_back(BucketKey{l, value});
+          }
+        }
+      },
+      [&](ColumnPair /*pair*/, uint64_t count) {
+        return count >= static_cast<uint64_t>(min_agreements);
+      });
 }
 
 }  // namespace sans

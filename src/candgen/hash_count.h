@@ -10,6 +10,22 @@
 //  * Min-Hash: one bucket table per row of M̂; the per-pair count is
 //    the number of rows on which the columns agree (same quantity
 //    row-sorting computes).
+//
+// All variants share one probe/count/flush engine (see hash_count.cc)
+// with a uniform empty-column rule: a column that contributes no
+// bucket keys — an empty K-MH signature, or an all-sentinel min-hash
+// column — is skipped entirely and never becomes a candidate. (Without
+// the min-hash skip, two empty columns would "agree" on the sentinel
+// in every row of M̂.)
+//
+// The ...Parallel variants shard the bucket space by
+// Mix64(value) % num_shards: each shard builds and probes its own
+// bucket tables over its slice of the key space, produces raw
+// per-pair collision counts, and the shards' CandidateSets are merged
+// by summation — every (value, table) key lands in exactly one shard,
+// so the summed counts equal the sequential counts and the threshold
+// is applied after the merge. Output is identical to the sequential
+// variant for any shard count.
 
 #ifndef SANS_CANDGEN_HASH_COUNT_H_
 #define SANS_CANDGEN_HASH_COUNT_H_
@@ -19,6 +35,8 @@
 #include "candgen/candidate_set.h"
 #include "sketch/k_min_hash.h"
 #include "sketch/signature_matrix.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace sans {
 
@@ -43,6 +61,20 @@ CandidateSet HashCountKMinHashAdaptive(const KMinHashSketch& sketch,
 /// cross-checked in tests (and raced in bench/micro_candgen).
 CandidateSet HashCountMinHash(const SignatureMatrix& signatures,
                               int min_agreements);
+
+/// Sharded variants: one shard per pool thread, each building its own
+/// bucket tables over Mix64(value) % num_shards == shard. A null pool
+/// (or a single-thread pool) falls back to the sequential variant.
+/// Output is identical to the sequential variant.
+Result<CandidateSet> HashCountKMinHashParallel(const KMinHashSketch& sketch,
+                                               uint64_t min_intersection,
+                                               ThreadPool* pool);
+
+Result<CandidateSet> HashCountKMinHashAdaptiveParallel(
+    const KMinHashSketch& sketch, double fraction, ThreadPool* pool);
+
+Result<CandidateSet> HashCountMinHashParallel(
+    const SignatureMatrix& signatures, int min_agreements, ThreadPool* pool);
 
 }  // namespace sans
 

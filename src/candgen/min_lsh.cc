@@ -46,8 +46,43 @@ std::vector<int> MinLshCandidateGenerator::BandIndices(int band,
   return indices;
 }
 
+void MinLshCandidateGenerator::CollectBandCandidates(
+    const SignatureMatrix& signatures, int band, CandidateSet* out) const {
+  const int k = signatures.num_hashes();
+  const ColumnId m = signatures.num_cols();
+  const std::vector<int> indices = BandIndices(band, k);
+  std::unordered_map<uint64_t, std::vector<ColumnId>> buckets;
+  buckets.reserve(m);
+  for (ColumnId c = 0; c < m; ++c) {
+    if (signatures.ColumnEmpty(c)) continue;
+    // Band key: order-sensitive combination of the r values. Seeded
+    // by the band id so identical keys in different bands land in
+    // independent bucket spaces.
+    uint64_t key = Mix64(0xb5ad4eceda1ce2a9ULL + band);
+    for (int idx : indices) {
+      key = CombineHashes(key, signatures.Value(idx, c));
+    }
+    buckets[key].push_back(c);
+  }
+  for (const auto& [key, cols] : buckets) {
+    // All pairs within a bucket are candidates (paper: "all columns
+    // that hash into the same bucket are pairwise declared
+    // candidates").
+    for (size_t a = 0; a < cols.size(); ++a) {
+      for (size_t b = a + 1; b < cols.size(); ++b) {
+        out->Add(ColumnPair(cols[a], cols[b]));
+      }
+    }
+  }
+}
+
 Result<CandidateSet> MinLshCandidateGenerator::Generate(
     const SignatureMatrix& signatures) const {
+  return Generate(signatures, nullptr);
+}
+
+Result<CandidateSet> MinLshCandidateGenerator::Generate(
+    const SignatureMatrix& signatures, ThreadPool* pool) const {
   const int k = signatures.num_hashes();
   if (!config_.sampled &&
       k != config_.rows_per_band * config_.num_bands) {
@@ -57,35 +92,28 @@ Result<CandidateSet> MinLshCandidateGenerator::Generate(
   if (k <= 0) {
     return Status::InvalidArgument("signature matrix has no hash rows");
   }
-  const ColumnId m = signatures.num_cols();
+
+  if (pool != nullptr && pool->num_threads() > 1) {
+    // One candidate set per band, merged in band order: counts sum to
+    // the number of bands a pair collided in, exactly the sequential
+    // accumulation.
+    std::vector<CandidateSet> per_band(config_.num_bands);
+    SANS_RETURN_IF_ERROR(pool->ParallelFor(
+        config_.num_bands, [&](int64_t band) -> Status {
+          CollectBandCandidates(signatures, static_cast<int>(band),
+                                &per_band[band]);
+          return Status::OK();
+        }));
+    CandidateSet candidates;
+    for (const CandidateSet& band : per_band) {
+      candidates.Merge(band);
+    }
+    return candidates;
+  }
 
   CandidateSet candidates;
-  std::unordered_map<uint64_t, std::vector<ColumnId>> buckets;
-  buckets.reserve(m);
   for (int band = 0; band < config_.num_bands; ++band) {
-    const std::vector<int> indices = BandIndices(band, k);
-    buckets.clear();
-    for (ColumnId c = 0; c < m; ++c) {
-      if (signatures.ColumnEmpty(c)) continue;
-      // Band key: order-sensitive combination of the r values. Seeded
-      // by the band id so identical keys in different bands land in
-      // independent bucket spaces.
-      uint64_t key = Mix64(0xb5ad4eceda1ce2a9ULL + band);
-      for (int idx : indices) {
-        key = CombineHashes(key, signatures.Value(idx, c));
-      }
-      buckets[key].push_back(c);
-    }
-    for (const auto& [key, cols] : buckets) {
-      // All pairs within a bucket are candidates (paper: "all columns
-      // that hash into the same bucket are pairwise declared
-      // candidates").
-      for (size_t a = 0; a < cols.size(); ++a) {
-        for (size_t b = a + 1; b < cols.size(); ++b) {
-          candidates.Add(ColumnPair(cols[a], cols[b]));
-        }
-      }
-    }
+    CollectBandCandidates(signatures, band, &candidates);
   }
   return candidates;
 }

@@ -18,6 +18,7 @@
 #include "candgen/candidate_set.h"
 #include "sketch/signature_matrix.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace sans {
 
@@ -49,6 +50,14 @@ class MinLshCandidateGenerator {
   /// sampled mode if the matrix has no hash rows.
   Result<CandidateSet> Generate(const SignatureMatrix& signatures) const;
 
+  /// Parallel variant: bands are processed independently on `pool`
+  /// (one CandidateSet per band, merged in band order — counts sum to
+  /// the number of bands a pair collided in, exactly the sequential
+  /// accumulation). A null or single-thread pool falls back to the
+  /// sequential path. Output is identical for any thread count.
+  Result<CandidateSet> Generate(const SignatureMatrix& signatures,
+                                ThreadPool* pool) const;
+
   /// The r hash-row indices band `band` uses against a matrix with
   /// `available` rows (banded: a contiguous slice; sampled: seeded
   /// draws). Exposed for tests.
@@ -57,6 +66,10 @@ class MinLshCandidateGenerator {
   const MinLshConfig& config() const { return config_; }
 
  private:
+  /// Buckets one band and adds its bucket-mate pairs to `out`.
+  void CollectBandCandidates(const SignatureMatrix& signatures, int band,
+                             CandidateSet* out) const;
+
   MinLshConfig config_;
 };
 

@@ -1,0 +1,150 @@
+#include "matrix/block_reader.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace sans {
+
+bool BlockQueue::Push(RowBlock&& block) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [this] { return aborted_ || blocks_.size() < capacity_; });
+  if (aborted_) {
+    return false;
+  }
+  SANS_CHECK(!closed_);
+  blocks_.push_back(std::move(block));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool BlockQueue::Pop(RowBlock* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock,
+                  [this] { return aborted_ || closed_ || !blocks_.empty(); });
+  if (aborted_ || blocks_.empty()) {
+    return false;  // aborted, or closed and drained
+  }
+  *out = std::move(blocks_.front());
+  blocks_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+void BlockQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+}
+
+void BlockQueue::Abort() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted_ = true;
+    blocks_.clear();
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+Status ForEachRowBlock(
+    const RowStreamSource& source, const ExecutionConfig& config,
+    ThreadPool* pool,
+    const std::function<Status(int worker, const RowBlock& block)>& consume) {
+  SANS_RETURN_IF_ERROR(config.Validate());
+  SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream, source.Open());
+  const size_t block_rows = static_cast<size_t>(config.block_rows);
+
+  if (pool == nullptr || config.num_threads <= 1) {
+    RowBlock block;
+    RowView view;
+    while (stream->Next(&view)) {
+      block.Append(view.row, view.columns);
+      if (block.size() >= block_rows) {
+        SANS_RETURN_IF_ERROR(consume(0, block));
+        block.Clear();
+      }
+    }
+    SANS_RETURN_IF_ERROR(stream->stream_status());
+    if (!block.empty()) {
+      SANS_RETURN_IF_ERROR(consume(0, block));
+    }
+    return Status::OK();
+  }
+
+  const int workers = config.num_threads;
+  BlockQueue queue(static_cast<size_t>(config.queue_depth));
+  std::vector<Status> worker_status(workers);
+  std::atomic<bool> worker_failed{false};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int pending = workers;
+
+  for (int w = 0; w < workers; ++w) {
+    pool->Submit([w, &queue, &consume, &worker_status, &worker_failed,
+                  &done_mu, &done_cv, &pending] {
+      RowBlock block;
+      while (queue.Pop(&block)) {
+        const Status status = consume(w, block);
+        if (!status.ok()) {
+          worker_status[w] = status;
+          worker_failed.store(true, std::memory_order_release);
+          queue.Abort();
+          break;
+        }
+      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--pending == 0) {
+        done_cv.notify_all();
+      }
+    });
+  }
+
+  // The calling thread is the reader: the only thread touching the
+  // stream, so the source is scanned exactly once.
+  Status reader_status;
+  {
+    RowBlock block;
+    RowView view;
+    for (;;) {
+      if (worker_failed.load(std::memory_order_acquire)) {
+        break;
+      }
+      if (!stream->Next(&view)) {
+        reader_status = stream->stream_status();
+        if (reader_status.ok() && !block.empty()) {
+          queue.Push(std::move(block));
+        }
+        break;
+      }
+      block.Append(view.row, view.columns);
+      if (block.size() >= block_rows) {
+        if (!queue.Push(std::move(block))) {
+          break;  // aborted by a failing worker
+        }
+        block = RowBlock();
+      }
+    }
+  }
+  if (reader_status.ok()) {
+    queue.Close();
+  } else {
+    queue.Abort();
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&pending] { return pending == 0; });
+  }
+  SANS_RETURN_IF_ERROR(reader_status);
+  for (const Status& status : worker_status) {
+    SANS_RETURN_IF_ERROR(status);
+  }
+  return Status::OK();
+}
+
+}  // namespace sans

@@ -1,6 +1,7 @@
 #include "mine/hlsh_miner.h"
 
 #include "candgen/candidate_set.h"
+#include "mine/parallel.h"
 #include "mine/verifier.h"
 
 namespace sans {
@@ -39,9 +40,12 @@ Result<MiningReport> HlshMiner::Mine(const RowStreamSource& source,
   // Phase 3: exact verification.
   {
     ScopedPhase phase(&report.timers, kPhaseVerify);
+    const std::unique_ptr<ThreadPool> pool =
+        MaybeCreatePool(config_.execution);
     SANS_ASSIGN_OR_RETURN(
         report.pairs,
-        VerifyCandidates(source, report.candidates, threshold));
+        VerifyCandidatesParallel(source, report.candidates, threshold,
+                                 config_.execution, pool.get()));
   }
   return report;
 }

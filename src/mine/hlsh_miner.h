@@ -13,14 +13,22 @@
 #include "candgen/hamming_lsh.h"
 #include "mine/miner.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace sans {
 
 /// Configuration of the H-LSH miner.
 struct HlshMinerConfig {
   HammingLshConfig lsh;
+  /// Parallel execution knobs. Only the verification scan
+  /// parallelizes: the pyramid needs random row access over the
+  /// materialized matrix and stays sequential.
+  ExecutionConfig execution;
 
-  Status Validate() const { return lsh.Validate(); }
+  Status Validate() const {
+    SANS_RETURN_IF_ERROR(lsh.Validate());
+    return execution.Validate();
+  }
 };
 
 /// Three-phase Hamming-LSH miner.

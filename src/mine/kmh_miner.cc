@@ -4,6 +4,7 @@
 
 #include "candgen/candidate_set.h"
 #include "candgen/hash_count.h"
+#include "mine/parallel.h"
 #include "mine/verifier.h"
 #include "sketch/estimators.h"
 
@@ -17,6 +18,7 @@ Status KmhMinerConfig::Validate() const {
   if (delta < 0.0 || delta >= 1.0) {
     return Status::InvalidArgument("delta must lie in [0, 1)");
   }
+  SANS_RETURN_IF_ERROR(execution.Validate());
   return Status::OK();
 }
 
@@ -30,14 +32,16 @@ Result<MiningReport> KmhMiner::Mine(const RowStreamSource& source,
     return Status::InvalidArgument("threshold must lie in (0, 1]");
   }
   MiningReport report;
+  // One pool shared by all three phases (null => sequential).
+  const std::unique_ptr<ThreadPool> pool = MaybeCreatePool(config_.execution);
 
   // Phase 1: bottom-k sketch computation (single pass, one hash/row).
   KMinHashSketch sketch(1, 0);
   {
     ScopedPhase phase(&report.timers, kPhaseSignatures);
-    KMinHashGenerator generator(config_.sketch);
-    SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream, source.Open());
-    SANS_ASSIGN_OR_RETURN(sketch, generator.Compute(stream.get()));
+    SANS_ASSIGN_OR_RETURN(
+        sketch, ComputeKMinHashParallel(source, config_.sketch,
+                                        config_.execution, pool.get()));
   }
 
   // Phase 2a: biased Hash-Count filter on |SIG_i ∩ SIG_j|.
@@ -47,8 +51,10 @@ Result<MiningReport> KmhMiner::Mine(const RowStreamSource& source,
     ScopedPhase phase(&report.timers, kPhaseCandidates);
     // Adaptive Lemma-1 cut: proportional to each pair's signature
     // sizes, so columns sparser than k are filtered fairly.
-    const CandidateSet candidates = HashCountKMinHashAdaptive(
-        sketch, config_.hash_count_slack * threshold);
+    SANS_ASSIGN_OR_RETURN(
+        const CandidateSet candidates,
+        HashCountKMinHashAdaptiveParallel(
+            sketch, config_.hash_count_slack * threshold, pool.get()));
     const double prune_floor = (1.0 - config_.delta) * threshold;
     for (const auto& [pair, count] : candidates) {
       if (config_.unbiased_pruning) {
@@ -67,8 +73,10 @@ Result<MiningReport> KmhMiner::Mine(const RowStreamSource& source,
   // Phase 3: exact verification (second pass).
   {
     ScopedPhase phase(&report.timers, kPhaseVerify);
-    SANS_ASSIGN_OR_RETURN(report.pairs,
-                          VerifyCandidates(source, survivors, threshold));
+    SANS_ASSIGN_OR_RETURN(
+        report.pairs,
+        VerifyCandidatesParallel(source, survivors, threshold,
+                                 config_.execution, pool.get()));
   }
   return report;
 }

@@ -11,6 +11,7 @@
 #include "mine/miner.h"
 #include "sketch/k_min_hash.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace sans {
 
@@ -27,6 +28,9 @@ struct KmhMinerConfig {
   /// When false, the unbiased pruning stage is skipped and every
   /// Hash-Count survivor goes to verification (ablation knob).
   bool unbiased_pruning = true;
+  /// Parallel execution knobs; num_threads == 1 runs the sequential
+  /// reference path. Output is identical for any thread count.
+  ExecutionConfig execution;
 
   Status Validate() const;
 };

@@ -5,6 +5,7 @@
 
 #include "candgen/hash_count.h"
 #include "candgen/row_sort.h"
+#include "mine/parallel.h"
 #include "mine/verifier.h"
 
 namespace sans {
@@ -14,6 +15,7 @@ Status MhMinerConfig::Validate() const {
   if (delta < 0.0 || delta >= 1.0) {
     return Status::InvalidArgument("delta must lie in [0, 1)");
   }
+  SANS_RETURN_IF_ERROR(execution.Validate());
   return Status::OK();
 }
 
@@ -27,14 +29,16 @@ Result<MiningReport> MhMiner::Mine(const RowStreamSource& source,
     return Status::InvalidArgument("threshold must lie in (0, 1]");
   }
   MiningReport report;
+  // One pool shared by all three phases (null => sequential).
+  const std::unique_ptr<ThreadPool> pool = MaybeCreatePool(config_.execution);
 
   // Phase 1: signature computation (single pass).
   SignatureMatrix signatures(1, 0);
   {
     ScopedPhase phase(&report.timers, kPhaseSignatures);
-    MinHashGenerator generator(config_.min_hash);
-    SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream, source.Open());
-    SANS_ASSIGN_OR_RETURN(signatures, generator.Compute(stream.get()));
+    SANS_ASSIGN_OR_RETURN(
+        signatures, ComputeMinHashParallel(source, config_.min_hash,
+                                           config_.execution, pool.get()));
   }
 
   // Phase 2: candidate generation in main memory.
@@ -52,7 +56,9 @@ Result<MiningReport> MhMiner::Mine(const RowStreamSource& source,
         break;
       }
       case MhCandidateAlgorithm::kHashCount:
-        candidates = HashCountMinHash(signatures, min_agreements);
+        SANS_ASSIGN_OR_RETURN(
+            candidates,
+            HashCountMinHashParallel(signatures, min_agreements, pool.get()));
         break;
     }
   }
@@ -64,7 +70,8 @@ Result<MiningReport> MhMiner::Mine(const RowStreamSource& source,
     ScopedPhase phase(&report.timers, kPhaseVerify);
     SANS_ASSIGN_OR_RETURN(
         report.pairs,
-        VerifyCandidates(source, report.candidates, threshold));
+        VerifyCandidatesParallel(source, report.candidates, threshold,
+                                 config_.execution, pool.get()));
   }
   return report;
 }

@@ -9,6 +9,7 @@
 #include "mine/miner.h"
 #include "sketch/min_hash.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace sans {
 
@@ -27,6 +28,9 @@ struct MhMinerConfig {
   /// Larger δ admits more candidates (fewer false negatives, more
   /// verification work).
   double delta = 0.2;
+  /// Parallel execution knobs; num_threads == 1 runs the sequential
+  /// reference path. Output is identical for any thread count.
+  ExecutionConfig execution;
 
   Status Validate() const;
 };

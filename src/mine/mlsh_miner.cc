@@ -1,5 +1,6 @@
 #include "mine/mlsh_miner.h"
 
+#include "mine/parallel.h"
 #include "mine/verifier.h"
 
 namespace sans {
@@ -10,6 +11,7 @@ Status MlshMinerConfig::Validate() const {
     return Status::InvalidArgument(
         "sampled mode requires positive num_hashes");
   }
+  SANS_RETURN_IF_ERROR(execution.Validate());
   return Status::OK();
 }
 
@@ -42,6 +44,8 @@ Result<MiningReport> MlshMiner::Mine(const RowStreamSource& source,
     return Status::InvalidArgument("threshold must lie in (0, 1]");
   }
   MiningReport report;
+  // One pool shared by all three phases (null => sequential).
+  const std::unique_ptr<ThreadPool> pool = MaybeCreatePool(config_.execution);
 
   const int k = config_.lsh.sampled
                     ? config_.num_hashes
@@ -55,19 +59,20 @@ Result<MiningReport> MlshMiner::Mine(const RowStreamSource& source,
     mh_config.num_hashes = k;
     mh_config.family = config_.family;
     mh_config.seed = config_.seed;
-    MinHashGenerator generator(mh_config);
-    SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream, source.Open());
-    SANS_ASSIGN_OR_RETURN(signatures, generator.Compute(stream.get()));
+    SANS_ASSIGN_OR_RETURN(
+        signatures, ComputeMinHashParallel(source, mh_config,
+                                           config_.execution, pool.get()));
   }
 
-  // Phase 2: banded LSH bucketing.
+  // Phase 2: banded LSH bucketing, parallel per band.
   CandidateSet candidates;
   {
     ScopedPhase phase(&report.timers, kPhaseCandidates);
     MinLshConfig lsh = config_.lsh;
     lsh.seed = config_.seed;
     MinLshCandidateGenerator generator(lsh);
-    SANS_ASSIGN_OR_RETURN(candidates, generator.Generate(signatures));
+    SANS_ASSIGN_OR_RETURN(candidates,
+                          generator.Generate(signatures, pool.get()));
   }
   report.candidates = candidates.SortedPairs();
   report.num_candidates = report.candidates.size();
@@ -77,7 +82,8 @@ Result<MiningReport> MlshMiner::Mine(const RowStreamSource& source,
     ScopedPhase phase(&report.timers, kPhaseVerify);
     SANS_ASSIGN_OR_RETURN(
         report.pairs,
-        VerifyCandidates(source, report.candidates, threshold));
+        VerifyCandidatesParallel(source, report.candidates, threshold,
+                                 config_.execution, pool.get()));
   }
   return report;
 }

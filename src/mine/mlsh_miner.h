@@ -15,6 +15,7 @@
 #include "mine/miner.h"
 #include "sketch/min_hash.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace sans {
 
@@ -30,6 +31,9 @@ struct MlshMinerConfig {
   int num_hashes = 40;
   HashFamily family = HashFamily::kSplitMix64;
   uint64_t seed = 0;
+  /// Parallel execution knobs; num_threads == 1 runs the sequential
+  /// reference path. Output is identical for any thread count.
+  ExecutionConfig execution;
 
   Status Validate() const;
 };

@@ -1,84 +1,64 @@
 #include "mine/parallel.h"
 
 #include <algorithm>
-#include <functional>
-#include <thread>
+#include <memory>
+#include <utility>
+
+#include "matrix/block_reader.h"
+#include "mine/miner.h"
+#include "util/bounded_heap.h"
 
 namespace sans {
-namespace {
-
-/// Runs `body(worker)` on workers 0..n-1 in parallel and returns the
-/// first non-OK status (if any).
-Status RunWorkers(int num_workers,
-                  const std::function<Status(int)>& body) {
-  std::vector<Status> statuses(num_workers);
-  std::vector<std::thread> threads;
-  threads.reserve(num_workers);
-  for (int w = 0; w < num_workers; ++w) {
-    threads.emplace_back([&, w] { statuses[w] = body(w); });
-  }
-  for (std::thread& t : threads) t.join();
-  for (const Status& s : statuses) {
-    SANS_RETURN_IF_ERROR(s);
-  }
-  return Status::OK();
-}
-
-}  // namespace
 
 Result<SignatureMatrix> ComputeMinHashParallel(
     const RowStreamSource& source, const MinHashConfig& config,
-    int num_threads) {
+    const ExecutionConfig& execution, ThreadPool* pool) {
   SANS_RETURN_IF_ERROR(config.Validate());
-  if (num_threads < 1) {
-    return Status::InvalidArgument("num_threads must be >= 1");
-  }
-  MinHashGenerator generator(config);
-  if (num_threads == 1) {
+  SANS_RETURN_IF_ERROR(execution.Validate());
+  if (pool == nullptr || execution.num_threads <= 1) {
+    MinHashGenerator generator(config);
     SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream, source.Open());
     return generator.Compute(stream.get());
   }
 
-  // Per-worker partial signature matrices over row stripes.
+  const int workers = execution.num_threads;
+  const ColumnId m = source.num_cols();
   std::vector<SignatureMatrix> partials(
-      num_threads, SignatureMatrix(config.num_hashes, source.num_cols()));
-  const Status worker_status = RunWorkers(
-      num_threads, [&](int worker) -> Status {
-        SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream,
-                              source.Open());
-        // A filtered view: only rows of this worker's stripe.
-        HashFunctionBank bank(config.family, config.num_hashes,
-                              config.seed);
-        std::vector<uint64_t> row_hashes(config.num_hashes);
+      workers, SignatureMatrix(config.num_hashes, m));
+  // The bank is read-only after construction and shared across
+  // workers; only the row-hash scratch is per worker.
+  HashFunctionBank bank(config.family, config.num_hashes, config.seed);
+  std::vector<std::vector<uint64_t>> scratch(
+      workers, std::vector<uint64_t>(config.num_hashes));
+
+  SANS_RETURN_IF_ERROR(ForEachRowBlock(
+      source, execution, pool,
+      [&](int worker, const RowBlock& block) -> Status {
         SignatureMatrix& partial = partials[worker];
-        RowView view;
-        while (stream->Next(&view)) {
-          if (view.row % static_cast<RowId>(num_threads) !=
-              static_cast<RowId>(worker)) {
-            continue;
-          }
-          if (view.columns.empty()) continue;
-          bank.HashAll(view.row, &row_hashes);
+        std::vector<uint64_t>& row_hashes = scratch[worker];
+        for (size_t r = 0; r < block.size(); ++r) {
+          const std::span<const ColumnId> columns = block.columns(r);
+          if (columns.empty()) continue;
+          bank.HashAll(block.row(r), &row_hashes);
           for (int l = 0; l < config.num_hashes; ++l) {
             if (row_hashes[l] == kEmptyMinHash) row_hashes[l] -= 1;
           }
-          for (ColumnId c : view.columns) {
+          for (ColumnId c : columns) {
             for (int l = 0; l < config.num_hashes; ++l) {
               partial.MinUpdate(l, c, row_hashes[l]);
             }
           }
         }
-        // Each worker scans the whole table; a truncated stream must
-        // fail its stripe, not shrink it.
-        return stream->stream_status();
-      });
-  SANS_RETURN_IF_ERROR(worker_status);
+        return Status::OK();
+      }));
 
-  // Merge by element-wise min into partials[0].
+  // Element-wise min merge in worker-id order (min is commutative and
+  // associative, so any order gives the sequential matrix; a fixed
+  // order keeps the procedure auditable).
   SignatureMatrix& merged = partials[0];
-  for (int w = 1; w < num_threads; ++w) {
+  for (int w = 1; w < workers; ++w) {
     for (int l = 0; l < config.num_hashes; ++l) {
-      for (ColumnId c = 0; c < merged.num_cols(); ++c) {
+      for (ColumnId c = 0; c < m; ++c) {
         merged.MinUpdate(l, c, partials[w].Value(l, c));
       }
     }
@@ -86,16 +66,88 @@ Result<SignatureMatrix> ComputeMinHashParallel(
   return std::move(merged);
 }
 
+Result<KMinHashSketch> ComputeKMinHashParallel(
+    const RowStreamSource& source, const KMinHashConfig& config,
+    const ExecutionConfig& execution, ThreadPool* pool) {
+  SANS_RETURN_IF_ERROR(config.Validate());
+  SANS_RETURN_IF_ERROR(execution.Validate());
+  if (pool == nullptr || execution.num_threads <= 1) {
+    KMinHashGenerator generator(config);
+    SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream, source.Open());
+    return generator.Compute(stream.get());
+  }
+
+  const int workers = execution.num_threads;
+  const ColumnId m = source.num_cols();
+  struct Partial {
+    std::vector<BoundedMaxHeap<uint64_t>> heaps;
+    std::vector<uint64_t> cardinalities;
+  };
+  std::vector<Partial> partials(workers);
+  for (Partial& partial : partials) {
+    partial.heaps.reserve(m);
+    for (ColumnId c = 0; c < m; ++c) {
+      partial.heaps.emplace_back(static_cast<size_t>(config.k));
+    }
+    partial.cardinalities.assign(m, 0);
+  }
+  const std::unique_ptr<Hasher64> hasher =
+      MakeHasher(config.family, config.seed);
+
+  SANS_RETURN_IF_ERROR(ForEachRowBlock(
+      source, execution, pool,
+      [&](int worker, const RowBlock& block) -> Status {
+        Partial& partial = partials[worker];
+        for (size_t r = 0; r < block.size(); ++r) {
+          const std::span<const ColumnId> columns = block.columns(r);
+          if (columns.empty()) continue;
+          uint64_t value = hasher->Hash(block.row(r));
+          if (value == kEmptyMinHash) value -= 1;  // keep sentinel unreachable
+          for (ColumnId c : columns) {
+            partial.heaps[c].Offer(value);
+            ++partial.cardinalities[c];
+          }
+        }
+        return Status::OK();
+      }));
+
+  // Merge: each worker's heap holds the k smallest values of its row
+  // subset (as a multiset), and the global k smallest values are a
+  // sub-multiset of the per-worker unions, so sorting the
+  // concatenation and truncating to k reproduces exactly the multiset
+  // the sequential single heap would hold. Deduplicate only after the
+  // truncation, as the sequential generator does (tabulation hashing
+  // can collide; deduping per worker first would diverge).
+  KMinHashSketch sketch(config.k, m);
+  std::vector<std::vector<uint64_t>> sorted_per_worker(workers);
+  for (ColumnId c = 0; c < m; ++c) {
+    std::vector<uint64_t> merged;
+    uint64_t cardinality = 0;
+    for (int w = 0; w < workers; ++w) {
+      sorted_per_worker[w] = partials[w].heaps[c].TakeSortedValues();
+      merged.insert(merged.end(), sorted_per_worker[w].begin(),
+                    sorted_per_worker[w].end());
+      cardinality += partials[w].cardinalities[c];
+    }
+    std::sort(merged.begin(), merged.end());
+    if (merged.size() > static_cast<size_t>(config.k)) {
+      merged.resize(static_cast<size_t>(config.k));
+    }
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    SANS_RETURN_IF_ERROR(sketch.SetColumn(c, std::move(merged), cardinality));
+  }
+  return sketch;
+}
+
 Result<std::vector<VerifiedPair>> CountCandidatePairsParallel(
     const RowStreamSource& source, const std::vector<ColumnPair>& candidates,
-    int num_threads) {
-  if (num_threads < 1) {
-    return Status::InvalidArgument("num_threads must be >= 1");
-  }
-  if (num_threads == 1) {
+    const ExecutionConfig& execution, ThreadPool* pool) {
+  SANS_RETURN_IF_ERROR(execution.Validate());
+  if (pool == nullptr || execution.num_threads <= 1) {
     SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream, source.Open());
     return CountCandidatePairs(stream.get(), candidates);
   }
+
   const ColumnId m = source.num_cols();
   for (const ColumnPair& pair : candidates) {
     if (pair.first == pair.second) {
@@ -115,52 +167,68 @@ Result<std::vector<VerifiedPair>> CountCandidatePairsParallel(
         static_cast<uint32_t>(i));
   }
 
-  struct PartialCounts {
+  const int workers = execution.num_threads;
+  struct Partial {
     std::vector<uint64_t> unions;
     std::vector<uint64_t> intersections;
+    std::vector<uint8_t> present;
+    std::vector<uint32_t> touched;
   };
-  std::vector<PartialCounts> partials(num_threads);
-  const Status worker_status = RunWorkers(
-      num_threads, [&](int worker) -> Status {
-        PartialCounts& partial = partials[worker];
-        partial.unions.assign(candidates.size(), 0);
-        partial.intersections.assign(candidates.size(), 0);
-        SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream,
-                              source.Open());
-        std::vector<uint8_t> present(candidates.size(), 0);
-        std::vector<uint32_t> touched;
-        RowView view;
-        while (stream->Next(&view)) {
-          if (view.row % static_cast<RowId>(num_threads) !=
-              static_cast<RowId>(worker)) {
-            continue;
-          }
-          touched.clear();
-          for (ColumnId c : view.columns) {
+  std::vector<Partial> partials(workers);
+  for (Partial& partial : partials) {
+    partial.unions.assign(candidates.size(), 0);
+    partial.intersections.assign(candidates.size(), 0);
+    partial.present.assign(candidates.size(), 0);
+  }
+
+  SANS_RETURN_IF_ERROR(ForEachRowBlock(
+      source, execution, pool,
+      [&](int worker, const RowBlock& block) -> Status {
+        Partial& partial = partials[worker];
+        for (size_t r = 0; r < block.size(); ++r) {
+          partial.touched.clear();
+          for (ColumnId c : block.columns(r)) {
             for (uint32_t idx : column_to_candidates[c]) {
-              if (present[idx] == 0) touched.push_back(idx);
-              ++present[idx];
+              if (partial.present[idx] == 0) partial.touched.push_back(idx);
+              ++partial.present[idx];
             }
           }
-          for (uint32_t idx : touched) {
+          for (uint32_t idx : partial.touched) {
             ++partial.unions[idx];
-            if (present[idx] == 2) ++partial.intersections[idx];
-            present[idx] = 0;
+            if (partial.present[idx] == 2) ++partial.intersections[idx];
+            partial.present[idx] = 0;
           }
         }
-        return stream->stream_status();
-      });
-  SANS_RETURN_IF_ERROR(worker_status);
+        return Status::OK();
+      }));
 
+  // Additive merge in worker-id order.
   std::vector<VerifiedPair> verified(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {
     verified[i].pair = candidates[i];
-    for (const PartialCounts& partial : partials) {
+    for (const Partial& partial : partials) {
       verified[i].union_count += partial.unions[i];
       verified[i].intersection_count += partial.intersections[i];
     }
   }
   return verified;
+}
+
+Result<std::vector<SimilarPair>> VerifyCandidatesParallel(
+    const RowStreamSource& source, const std::vector<ColumnPair>& candidates,
+    double threshold, const ExecutionConfig& execution, ThreadPool* pool) {
+  SANS_ASSIGN_OR_RETURN(
+      std::vector<VerifiedPair> verified,
+      CountCandidatePairsParallel(source, candidates, execution, pool));
+  std::vector<SimilarPair> pairs;
+  for (const VerifiedPair& v : verified) {
+    const double s = v.similarity();
+    if (s >= threshold) {
+      pairs.push_back(SimilarPair{v.pair, s});
+    }
+  }
+  SortPairs(&pairs);
+  return pairs;
 }
 
 }  // namespace sans

@@ -1,17 +1,17 @@
-// Parallel signature computation and verification by row striping.
+// Parallel phase-1/phase-3 execution on the single-scan block
+// pipeline (matrix/block_reader.h): one reader thread scans the
+// RowStreamSource exactly once, packs rows into RowBlocks and fans
+// them out to thread-pool workers through a bounded queue. Each
+// worker accumulates a private partial result; partials are merged
+// deterministically in worker-id order — element-wise min for
+// min-hash signatures, bottom-k multiset union (then dedup) for
+// K-Min-Hash sketches, additive union/intersection counters for
+// verification — so every function here is bit-identical to its
+// sequential counterpart for any thread count, block size, or
+// scheduling.
 //
-// Both phase 1 (min-hash signatures) and phase 3 (candidate
-// verification) decompose over disjoint row sets: min-hash values
-// merge by element-wise minimum, and union/intersection counters
-// merge by addition. Each worker opens its own stream from the
-// RowStreamSource and processes the rows of its stripe
-// (row % workers == worker id), so results are bit-identical to the
-// sequential pipeline regardless of thread count.
-//
-// Note the cost model: every worker still *reads* the whole stream
-// (skipping foreign rows), so this parallelizes the hashing and
-// counting work, not the I/O. For disk-resident tables the win
-// appears once per-row CPU work (k hashes) dominates the scan.
+// With a null pool or execution.num_threads <= 1, each function runs
+// the plain sequential implementation (the reference path).
 
 #ifndef SANS_MINE_PARALLEL_H_
 #define SANS_MINE_PARALLEL_H_
@@ -20,24 +20,42 @@
 
 #include "matrix/row_stream.h"
 #include "mine/verifier.h"
+#include "sketch/k_min_hash.h"
 #include "sketch/min_hash.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace sans {
 
-/// Computes min-hash signatures with `num_threads` workers. With
-/// num_threads <= 1 this is exactly MinHashGenerator::Compute.
-/// Output is identical to the sequential computation for any thread
-/// count.
-Result<SignatureMatrix> ComputeMinHashParallel(
-    const RowStreamSource& source, const MinHashConfig& config,
-    int num_threads);
+/// Computes min-hash signatures over one scan of `source`, fanned out
+/// to `execution.num_threads` workers on `pool`.
+Result<SignatureMatrix> ComputeMinHashParallel(const RowStreamSource& source,
+                                               const MinHashConfig& config,
+                                               const ExecutionConfig& execution,
+                                               ThreadPool* pool);
 
-/// Verifies candidates with `num_threads` workers; counts are summed
-/// across row stripes. Output order matches `candidates`.
+/// Computes bottom-k sketches (plus exact cardinalities) over one
+/// scan. Per-worker memory is one k-bounded heap per column; the
+/// merged column signature is the k smallest values across workers
+/// with duplicates retained until the final dedup, which is exactly
+/// what the sequential single heap retains.
+Result<KMinHashSketch> ComputeKMinHashParallel(const RowStreamSource& source,
+                                               const KMinHashConfig& config,
+                                               const ExecutionConfig& execution,
+                                               ThreadPool* pool);
+
+/// Verifies candidates over one scan; per-worker counters are summed
+/// in worker-id order. Output order matches `candidates`.
 Result<std::vector<VerifiedPair>> CountCandidatePairsParallel(
     const RowStreamSource& source, const std::vector<ColumnPair>& candidates,
-    int num_threads);
+    const ExecutionConfig& execution, ThreadPool* pool);
+
+/// Parallel counterpart of VerifyCandidates: counts via
+/// CountCandidatePairsParallel, then keeps pairs with exact
+/// similarity >= threshold, sorted by descending similarity.
+Result<std::vector<SimilarPair>> VerifyCandidatesParallel(
+    const RowStreamSource& source, const std::vector<ColumnPair>& candidates,
+    double threshold, const ExecutionConfig& execution, ThreadPool* pool);
 
 }  // namespace sans
 

@@ -14,6 +14,7 @@
 #include "candgen/hash_count.h"
 #include "candgen/row_sort.h"
 #include "matrix/table_file.h"
+#include "mine/parallel.h"
 #include "mine/verifier.h"
 #include "sketch/estimators.h"
 #include "sketch/sketch_io.h"
@@ -43,6 +44,7 @@ Status PipelineConfig::Validate() const {
     return Status::InvalidArgument("checkpoint_dir must not be empty");
   }
   SANS_RETURN_IF_ERROR(resilience.Validate());
+  SANS_RETURN_IF_ERROR(execution.Validate());
   switch (algorithm) {
     case PipelineAlgorithm::kMh:
       return mh.Validate();
@@ -224,7 +226,9 @@ std::string PipelineRunner::FingerprintString(
     const RowStreamSource& source) const {
   // Every knob that can change any stage's output must appear here;
   // source shape stands in for the input identity (the checkpoint dir
-  // is expected to be per-dataset).
+  // is expected to be per-dataset). ExecutionConfig is deliberately
+  // absent: outputs are bit-identical for any thread count, so a
+  // checkpoint taken at one num_threads must resume at another.
   std::string s = "v1;algorithm=";
   s += PipelineAlgorithmName(config_.algorithm);
   s += ";threshold=" + FormatDouble(config_.threshold);
@@ -289,6 +293,8 @@ Result<PipelineRunSummary> PipelineRunner::Run(
   PipelineRunSummary summary;
   ResilienceStats stats;
   const ResilientSource resilient(&source, config_.resilience, &stats);
+  // One pool shared by all stages (null => sequential reference path).
+  const std::unique_ptr<ThreadPool> pool = MaybeCreatePool(config_.execution);
 
   Manifest out;
   out.fingerprint = HexU64(Fnv1a64(FingerprintString(source)));
@@ -378,12 +384,12 @@ Result<PipelineRunSummary> PipelineRunner::Run(
     reuse_chain = false;
     {
       ScopedPhase phase(&summary.report.timers, kPhaseSignatures);
-      SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream,
-                            resilient.Open());
       switch (config_.algorithm) {
         case PipelineAlgorithm::kMh: {
-          MinHashGenerator generator(config_.mh.min_hash);
-          SANS_ASSIGN_OR_RETURN(signatures, generator.Compute(stream.get()));
+          SANS_ASSIGN_OR_RETURN(
+              signatures,
+              ComputeMinHashParallel(resilient, config_.mh.min_hash,
+                                     config_.execution, pool.get()));
           break;
         }
         case PipelineAlgorithm::kMlsh: {
@@ -394,16 +400,21 @@ Result<PipelineRunSummary> PipelineRunner::Run(
                   : config_.mlsh.lsh.rows_per_band * config_.mlsh.lsh.num_bands;
           mh_config.family = config_.mlsh.family;
           mh_config.seed = config_.mlsh.seed;
-          MinHashGenerator generator(mh_config);
-          SANS_ASSIGN_OR_RETURN(signatures, generator.Compute(stream.get()));
+          SANS_ASSIGN_OR_RETURN(
+              signatures, ComputeMinHashParallel(resilient, mh_config,
+                                                 config_.execution, pool.get()));
           break;
         }
         case PipelineAlgorithm::kKmh: {
-          KMinHashGenerator generator(config_.kmh.sketch);
-          SANS_ASSIGN_OR_RETURN(sketch, generator.Compute(stream.get()));
+          SANS_ASSIGN_OR_RETURN(
+              sketch, ComputeKMinHashParallel(resilient, config_.kmh.sketch,
+                                              config_.execution, pool.get()));
           break;
         }
         case PipelineAlgorithm::kHlsh: {
+          // H-LSH materializes the table (random access in phase 2).
+          SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream,
+                                resilient.Open());
           SANS_ASSIGN_OR_RETURN(table, MaterializeStream(stream.get()));
           break;
         }
@@ -455,14 +466,19 @@ Result<PipelineRunSummary> PipelineRunner::Run(
               break;
             }
             case MhCandidateAlgorithm::kHashCount:
-              candidates = HashCountMinHash(*signatures, min_agreements);
+              SANS_ASSIGN_OR_RETURN(
+                  candidates, HashCountMinHashParallel(
+                                  *signatures, min_agreements, pool.get()));
               break;
           }
           break;
         }
         case PipelineAlgorithm::kKmh: {
-          const CandidateSet filtered = HashCountKMinHashAdaptive(
-              *sketch, config_.kmh.hash_count_slack * config_.threshold);
+          SANS_ASSIGN_OR_RETURN(
+              const CandidateSet filtered,
+              HashCountKMinHashAdaptiveParallel(
+                  *sketch, config_.kmh.hash_count_slack * config_.threshold,
+                  pool.get()));
           const double prune_floor =
               (1.0 - config_.kmh.delta) * config_.threshold;
           for (const auto& [pair, count] : filtered) {
@@ -480,7 +496,8 @@ Result<PipelineRunSummary> PipelineRunner::Run(
           MinLshConfig lsh = config_.mlsh.lsh;
           lsh.seed = config_.mlsh.seed;
           MinLshCandidateGenerator generator(lsh);
-          SANS_ASSIGN_OR_RETURN(candidates, generator.Generate(*signatures));
+          SANS_ASSIGN_OR_RETURN(candidates,
+                                generator.Generate(*signatures, pool.get()));
           break;
         }
         case PipelineAlgorithm::kHlsh: {
@@ -518,8 +535,9 @@ Result<PipelineRunSummary> PipelineRunner::Run(
       ScopedPhase phase(&summary.report.timers, kPhaseVerify);
       SANS_ASSIGN_OR_RETURN(
           summary.report.pairs,
-          VerifyCandidates(resilient, summary.report.candidates,
-                           config_.threshold));
+          VerifyCandidatesParallel(resilient, summary.report.candidates,
+                                   config_.threshold, config_.execution,
+                                   pool.get()));
     }
     SANS_RETURN_IF_ERROR(WriteSimilarPairs(summary.report.pairs, pairs_path));
     SANS_RETURN_IF_ERROR(commit_stage(kStagePairs, kPairsFile));

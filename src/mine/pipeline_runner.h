@@ -32,6 +32,7 @@
 #include "mine/miner.h"
 #include "mine/mlsh_miner.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace sans {
 
@@ -62,6 +63,12 @@ struct PipelineConfig {
 
   /// Fault tolerance for the two table scans.
   ResilienceOptions resilience;
+
+  /// Parallel execution knobs shared by all stages. Deliberately
+  /// excluded from the checkpoint fingerprint: outputs are
+  /// bit-identical for any num_threads, so a run checkpointed at one
+  /// thread count may resume at another.
+  ExecutionConfig execution;
 
   Status Validate() const;
 };

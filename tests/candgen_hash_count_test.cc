@@ -106,5 +106,92 @@ TEST(HashCountKMinHashTest, EmptySketchYieldsNothing) {
   EXPECT_TRUE(HashCountKMinHash(*sketch, 1).empty());
 }
 
+TEST(HashCountParallelTest, ShardedCountsMatchSequential) {
+  // The sharded parallel variants partition bucket values by
+  // hash(value) % num_shards and merge per-shard counts; the merged
+  // result must equal the single-table sequential count exactly.
+  SyntheticConfig config;
+  config.num_rows = 400;
+  config.num_cols = 60;
+  config.bands = {{3, 55.0, 90.0}};
+  config.spread_pairs = false;
+  config.min_density = 0.05;
+  config.max_density = 0.12;
+  config.seed = 23;
+  auto dataset = GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok());
+
+  MinHashConfig mh;
+  mh.num_hashes = 24;
+  mh.seed = 6;
+  MinHashGenerator generator(mh);
+  InMemoryRowStream stream(&dataset->matrix);
+  auto sig = generator.Compute(&stream);
+  ASSERT_TRUE(sig.ok());
+  const KMinHashSketch sketch = SketchOf(dataset->matrix, 30, 19);
+
+  for (int threads : {2, 3, 8}) {
+    ThreadPool pool(threads);
+    for (int min_agreements : {1, 4, 12}) {
+      auto parallel = HashCountMinHashParallel(*sig, min_agreements, &pool);
+      ASSERT_TRUE(parallel.ok());
+      EXPECT_EQ(parallel->SortedEntries(),
+                HashCountMinHash(*sig, min_agreements).SortedEntries())
+          << "threads=" << threads
+          << " min_agreements=" << min_agreements;
+    }
+    for (uint64_t min_intersection : {1, 3, 10}) {
+      auto parallel =
+          HashCountKMinHashParallel(sketch, min_intersection, &pool);
+      ASSERT_TRUE(parallel.ok());
+      EXPECT_EQ(parallel->SortedEntries(),
+                HashCountKMinHash(sketch, min_intersection).SortedEntries())
+          << "threads=" << threads
+          << " min_intersection=" << min_intersection;
+    }
+    for (double fraction : {0.05, 0.3, 0.9}) {
+      auto parallel =
+          HashCountKMinHashAdaptiveParallel(sketch, fraction, &pool);
+      ASSERT_TRUE(parallel.ok());
+      EXPECT_EQ(
+          parallel->SortedEntries(),
+          HashCountKMinHashAdaptive(sketch, fraction).SortedEntries())
+          << "threads=" << threads << " fraction=" << fraction;
+    }
+  }
+}
+
+TEST(HashCountParallelTest, NullPoolFallsBackToSequential) {
+  auto m = BinaryMatrix::FromRows(6, 3,
+                                  {{0, 1}, {0, 1}, {0, 1}, {1, 2}, {2}, {0}});
+  ASSERT_TRUE(m.ok());
+  const KMinHashSketch sketch = SketchOf(*m, 4, 3);
+  auto parallel = HashCountKMinHashParallel(sketch, 1, nullptr);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->SortedEntries(),
+            HashCountKMinHash(sketch, 1).SortedEntries());
+}
+
+TEST(HashCountParallelTest, EmptyColumnsSkippedUniformly) {
+  // Two all-empty min-hash columns must never collide with each other
+  // — a non-uniform skip rule would pair them k times. Same for the
+  // sharded path.
+  SignatureMatrix sig(3, 4);
+  sig.SetValue(0, 1, 7);
+  sig.SetValue(1, 1, 8);
+  sig.SetValue(2, 1, 9);
+  sig.SetValue(0, 3, 7);
+  sig.SetValue(1, 3, 8);
+  sig.SetValue(2, 3, 11);
+  // Columns 0 and 2 are empty; 1 and 3 agree on two of three hashes.
+  const CandidateSet sequential = HashCountMinHash(sig, 2);
+  EXPECT_EQ(sequential.size(), 1u);
+  EXPECT_EQ(sequential.Count(ColumnPair(1, 3)), 2u);
+  ThreadPool pool(3);
+  auto parallel = HashCountMinHashParallel(sig, 2, &pool);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->SortedEntries(), sequential.SortedEntries());
+}
+
 }  // namespace
 }  // namespace sans

@@ -1,0 +1,265 @@
+#include "matrix/block_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic_generator.h"
+#include "matrix/row_stream.h"
+
+namespace sans {
+namespace {
+
+BinaryMatrix TestMatrix(RowId rows = 500) {
+  SyntheticConfig config;
+  config.num_rows = rows;
+  config.num_cols = 40;
+  config.bands = {{3, 50.0, 80.0}};
+  config.spread_pairs = false;
+  config.seed = 91;
+  auto d = GenerateSynthetic(config);
+  EXPECT_TRUE(d.ok());
+  return std::move(d->matrix);
+}
+
+ExecutionConfig Exec(int threads, int block_rows = 64,
+                     int queue_depth = 4) {
+  ExecutionConfig config;
+  config.num_threads = threads;
+  config.block_rows = block_rows;
+  config.queue_depth = queue_depth;
+  return config;
+}
+
+TEST(RowBlockTest, AppendSlicesAndClear) {
+  RowBlock block;
+  EXPECT_TRUE(block.empty());
+  const std::vector<ColumnId> a = {1, 4, 9};
+  const std::vector<ColumnId> b = {};
+  const std::vector<ColumnId> c = {7};
+  block.Append(10, a);
+  block.Append(11, b);
+  block.Append(12, c);
+  ASSERT_EQ(block.size(), 3u);
+  EXPECT_EQ(block.row(0), 10);
+  EXPECT_EQ(block.row(2), 12);
+  ASSERT_EQ(block.columns(0).size(), 3u);
+  EXPECT_EQ(block.columns(0)[1], 4);
+  EXPECT_TRUE(block.columns(1).empty());
+  ASSERT_EQ(block.columns(2).size(), 1u);
+  EXPECT_EQ(block.columns(2)[0], 7);
+
+  block.Clear();
+  EXPECT_TRUE(block.empty());
+  block.Append(0, c);
+  ASSERT_EQ(block.columns(0).size(), 1u);
+  EXPECT_EQ(block.columns(0)[0], 7);
+}
+
+TEST(BlockQueueTest, PushPopCloseDrains) {
+  BlockQueue queue(2);
+  RowBlock block;
+  block.Append(1, std::vector<ColumnId>{2});
+  EXPECT_TRUE(queue.Push(std::move(block)));
+  queue.Close();
+  RowBlock out;
+  EXPECT_TRUE(queue.Pop(&out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.row(0), 1);
+  EXPECT_FALSE(queue.Pop(&out));  // closed and drained
+}
+
+TEST(BlockQueueTest, AbortUnblocksAndDiscards) {
+  BlockQueue queue(1);
+  RowBlock block;
+  block.Append(1, std::vector<ColumnId>{});
+  EXPECT_TRUE(queue.Push(std::move(block)));  // queue now full
+
+  // A second Push blocks on backpressure until Abort releases it.
+  std::thread producer([&] {
+    RowBlock more;
+    more.Append(2, std::vector<ColumnId>{});
+    EXPECT_FALSE(queue.Push(std::move(more)));
+  });
+  queue.Abort();
+  producer.join();
+  RowBlock out;
+  EXPECT_FALSE(queue.Pop(&out));  // aborted: queued block discarded
+}
+
+TEST(BlockReaderTest, SequentialPathDeliversRowsInOrder) {
+  const BinaryMatrix m = TestMatrix(137);
+  InMemorySource source(&m);
+  std::vector<RowId> seen;
+  size_t max_block = 0;
+  Status status = ForEachRowBlock(
+      source, Exec(1, /*block_rows=*/10), nullptr,
+      [&](int worker, const RowBlock& block) {
+        EXPECT_EQ(worker, 0);
+        max_block = std::max(max_block, block.size());
+        for (size_t i = 0; i < block.size(); ++i) {
+          seen.push_back(block.row(i));
+          EXPECT_EQ(block.columns(i).size(), m.Row(block.row(i)).size());
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok());
+  ASSERT_EQ(seen.size(), static_cast<size_t>(m.num_rows()));
+  for (RowId r = 0; r < m.num_rows(); ++r) EXPECT_EQ(seen[r], r);
+  EXPECT_LE(max_block, 10u);
+}
+
+TEST(BlockReaderTest, ParallelPathDeliversEveryRowExactlyOnce) {
+  const BinaryMatrix m = TestMatrix(1000);
+  InMemorySource source(&m);
+  for (int threads : {2, 3, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(m.num_rows());
+    Status status = ForEachRowBlock(
+        source, Exec(threads, /*block_rows=*/16, /*queue_depth=*/2),
+        &pool, [&](int worker, const RowBlock& block) {
+          EXPECT_GE(worker, 0);
+          EXPECT_LT(worker, threads);
+          for (size_t i = 0; i < block.size(); ++i) {
+            hits[block.row(i)].fetch_add(1);
+          }
+          return Status::OK();
+        });
+    ASSERT_TRUE(status.ok()) << "threads=" << threads;
+    for (RowId r = 0; r < m.num_rows(); ++r) {
+      ASSERT_EQ(hits[r].load(), 1) << "row " << r;
+    }
+  }
+}
+
+TEST(BlockReaderTest, WorkerErrorAbortsPipeline) {
+  const BinaryMatrix m = TestMatrix(2000);
+  InMemorySource source(&m);
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  Status status = ForEachRowBlock(
+      source, Exec(3, /*block_rows=*/8, /*queue_depth=*/2), &pool,
+      [&](int, const RowBlock&) {
+        calls.fetch_add(1);
+        return Status::Internal("worker gave up");
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  // The abort must cut the run short; nowhere near all 250 blocks.
+  EXPECT_LT(calls.load(), 250);
+}
+
+TEST(BlockReaderTest, OpenFailurePropagates) {
+  class FailingSource final : public RowStreamSource {
+   public:
+    RowId num_rows() const override { return 4; }
+    ColumnId num_cols() const override { return 4; }
+    Result<std::unique_ptr<RowStream>> Open() const override {
+      return Status::IOError("injected open failure");
+    }
+  };
+  FailingSource source;
+  ThreadPool pool(2);
+  Status status =
+      ForEachRowBlock(source, Exec(2), &pool,
+                      [](int, const RowBlock&) { return Status::OK(); });
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
+// A stream that fails midway through the scan: the reader error must
+// win over any worker status.
+class TruncatedSource final : public RowStreamSource {
+ public:
+  explicit TruncatedSource(const BinaryMatrix* m) : m_(m) {}
+  RowId num_rows() const override { return m_->num_rows(); }
+  ColumnId num_cols() const override { return m_->num_cols(); }
+  Result<std::unique_ptr<RowStream>> Open() const override {
+    class Stream final : public RowStream {
+     public:
+      explicit Stream(const BinaryMatrix* m) : m_(m) {}
+      RowId num_rows() const override { return m_->num_rows(); }
+      ColumnId num_cols() const override { return m_->num_cols(); }
+      bool Next(RowView* row) override {
+        if (next_ >= m_->num_rows() / 2) {
+          status_ = Status::Corruption("stream truncated mid-scan");
+          return false;
+        }
+        row->row = next_;
+        row->columns = m_->Row(next_);
+        ++next_;
+        return true;
+      }
+      Status stream_status() const override { return status_; }
+      Status Reset() override {
+        next_ = 0;
+        status_ = Status::OK();
+        return Status::OK();
+      }
+
+     private:
+      const BinaryMatrix* m_;
+      RowId next_ = 0;
+      Status status_ = Status::OK();
+    };
+    return std::unique_ptr<RowStream>(new Stream(m_));
+  }
+
+ private:
+  const BinaryMatrix* m_;
+};
+
+TEST(BlockReaderTest, StreamErrorMidScanPropagates) {
+  const BinaryMatrix m = TestMatrix(400);
+  TruncatedSource source(&m);
+  for (int threads : {1, 3}) {
+    ThreadPool pool(threads);
+    std::atomic<int64_t> rows_seen{0};
+    Status status = ForEachRowBlock(
+        source, Exec(threads, /*block_rows=*/32),
+        threads > 1 ? &pool : nullptr,
+        [&](int, const RowBlock& block) {
+          rows_seen.fetch_add(block.size());
+          return Status::OK();
+        });
+    ASSERT_FALSE(status.ok()) << "threads=" << threads;
+    EXPECT_EQ(status.code(), StatusCode::kCorruption)
+        << "threads=" << threads;
+    // The truncated half of the table was never delivered.
+    EXPECT_LE(rows_seen.load(), m.num_rows() / 2);
+  }
+}
+
+TEST(BlockReaderTest, TinyQueueBackpressureStillCompletes) {
+  const BinaryMatrix m = TestMatrix(600);
+  InMemorySource source(&m);
+  ThreadPool pool(2);
+  std::atomic<int64_t> rows_seen{0};
+  Status status = ForEachRowBlock(
+      source, Exec(2, /*block_rows=*/4, /*queue_depth=*/1), &pool,
+      [&](int, const RowBlock& block) {
+        rows_seen.fetch_add(block.size());
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(rows_seen.load(), m.num_rows());
+}
+
+TEST(BlockReaderTest, RejectsInvalidConfig) {
+  const BinaryMatrix m = TestMatrix(10);
+  InMemorySource source(&m);
+  ExecutionConfig bad = Exec(2, /*block_rows=*/0);
+  ThreadPool pool(2);
+  EXPECT_FALSE(ForEachRowBlock(source, bad, &pool,
+                               [](int, const RowBlock&) {
+                                 return Status::OK();
+                               })
+                   .ok());
+}
+
+}  // namespace
+}  // namespace sans

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "data/synthetic_generator.h"
 #include "data/weblog_generator.h"
 #include "matrix/row_stream.h"
+#include "mine/verifier.h"
 
 namespace sans {
 namespace {
@@ -21,6 +25,28 @@ BinaryMatrix TestMatrix() {
   return std::move(d->matrix);
 }
 
+ExecutionConfig Exec(int threads, int block_rows = 128,
+                     int queue_depth = 4) {
+  ExecutionConfig config;
+  config.num_threads = threads;
+  config.block_rows = block_rows;
+  config.queue_depth = queue_depth;
+  return config;
+}
+
+// Runs `fn(execution, pool)` with a pool sized for `threads` (null
+// pool when threads == 1, matching how the miners drive it).
+template <typename Fn>
+auto WithPool(int threads, Fn&& fn) {
+  const ExecutionConfig execution = Exec(threads);
+  std::unique_ptr<ThreadPool> pool = MaybeCreatePool(execution);
+  return fn(execution, pool.get());
+}
+
+// The thread counts the invariance property is asserted over; 1 is
+// the sequential reference path.
+const int kThreadCounts[] = {1, 2, 3, 8};
+
 class ParallelMinHashTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(ParallelMinHashTest, MatchesSequentialBitForBit) {
@@ -31,9 +57,15 @@ TEST_P(ParallelMinHashTest, MatchesSequentialBitForBit) {
   config.num_hashes = 32;
   config.seed = 7;
 
-  auto parallel = ComputeMinHashParallel(source, config, threads);
+  auto parallel = WithPool(threads, [&](const auto& exec, ThreadPool* pool) {
+    return ComputeMinHashParallel(source, config, exec, pool);
+  });
   ASSERT_TRUE(parallel.ok());
-  auto sequential = ComputeMinHashParallel(source, config, 1);
+
+  // Sequential reference: the plain generator.
+  MinHashGenerator generator(config);
+  InMemoryRowStream stream(&m);
+  auto sequential = generator.Compute(&stream);
   ASSERT_TRUE(sequential.ok());
   for (int l = 0; l < 32; ++l) {
     for (ColumnId c = 0; c < m.num_cols(); ++c) {
@@ -44,7 +76,49 @@ TEST_P(ParallelMinHashTest, MatchesSequentialBitForBit) {
 }
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelMinHashTest,
-                         ::testing::Values(2, 3, 4, 8));
+                         ::testing::ValuesIn(kThreadCounts));
+
+class ParallelKMinHashTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelKMinHashTest, MatchesSequentialBitForBit) {
+  const int threads = GetParam();
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  // Tabulation hashing can produce colliding row hashes, which is
+  // exactly the case where the merge's dedup-after-truncate order
+  // matters; cover it alongside the default family.
+  for (HashFamily family :
+       {HashFamily::kSplitMix64, HashFamily::kTabulation}) {
+    KMinHashConfig config;
+    config.k = 40;
+    config.family = family;
+    config.seed = 13;
+
+    auto parallel = WithPool(threads, [&](const auto& exec, ThreadPool* pool) {
+      return ComputeKMinHashParallel(source, config, exec, pool);
+    });
+    ASSERT_TRUE(parallel.ok());
+
+    KMinHashGenerator generator(config);
+    InMemoryRowStream stream(&m);
+    auto sequential = generator.Compute(&stream);
+    ASSERT_TRUE(sequential.ok());
+    for (ColumnId c = 0; c < m.num_cols(); ++c) {
+      const auto p = parallel->Signature(c);
+      const auto s = sequential->Signature(c);
+      ASSERT_EQ(p.size(), s.size()) << "threads=" << threads << " c=" << c;
+      for (size_t i = 0; i < p.size(); ++i) {
+        ASSERT_EQ(p[i], s[i]) << "threads=" << threads << " c=" << c;
+      }
+      EXPECT_EQ(parallel->ColumnCardinality(c),
+                sequential->ColumnCardinality(c))
+          << "threads=" << threads << " c=" << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelKMinHashTest,
+                         ::testing::ValuesIn(kThreadCounts));
 
 class ParallelVerifyTest : public ::testing::TestWithParam<int> {};
 
@@ -57,30 +131,56 @@ TEST_P(ParallelVerifyTest, MatchesSequentialCounts) {
     candidates.push_back(ColumnPair(c, c + 1));
   }
 
-  auto parallel =
-      CountCandidatePairsParallel(source, candidates, threads);
+  auto parallel = WithPool(threads, [&](const auto& exec, ThreadPool* pool) {
+    return CountCandidatePairsParallel(source, candidates, exec, pool);
+  });
   ASSERT_TRUE(parallel.ok());
-  auto sequential = CountCandidatePairsParallel(source, candidates, 1);
+  InMemoryRowStream stream(&m);
+  auto sequential = CountCandidatePairs(&stream, candidates);
   ASSERT_TRUE(sequential.ok());
   ASSERT_EQ(parallel->size(), sequential->size());
   for (size_t i = 0; i < parallel->size(); ++i) {
     EXPECT_EQ((*parallel)[i].pair, (*sequential)[i].pair);
-    EXPECT_EQ((*parallel)[i].union_count,
-              (*sequential)[i].union_count);
+    EXPECT_EQ((*parallel)[i].union_count, (*sequential)[i].union_count);
     EXPECT_EQ((*parallel)[i].intersection_count,
               (*sequential)[i].intersection_count);
   }
 }
 
+TEST_P(ParallelVerifyTest, VerifyCandidatesMatchesSequential) {
+  const int threads = GetParam();
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  std::vector<ColumnPair> candidates;
+  for (ColumnId c = 0; c + 2 < m.num_cols(); c += 2) {
+    candidates.push_back(ColumnPair(c, c + 2));
+  }
+
+  auto parallel = WithPool(threads, [&](const auto& exec, ThreadPool* pool) {
+    return VerifyCandidatesParallel(source, candidates, 0.3, exec, pool);
+  });
+  ASSERT_TRUE(parallel.ok());
+  auto sequential = VerifyCandidates(source, candidates, 0.3);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_EQ(parallel->size(), sequential->size());
+  for (size_t i = 0; i < parallel->size(); ++i) {
+    EXPECT_EQ((*parallel)[i].pair, (*sequential)[i].pair);
+    EXPECT_DOUBLE_EQ((*parallel)[i].similarity,
+                     (*sequential)[i].similarity);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelVerifyTest,
-                         ::testing::Values(2, 3, 4, 8));
+                         ::testing::ValuesIn(kThreadCounts));
 
 TEST(ParallelTest, CountsMatchExactSimilarity) {
   const BinaryMatrix m = TestMatrix();
   InMemorySource source(&m);
   std::vector<ColumnPair> candidates = {ColumnPair(0, 1),
                                         ColumnPair(2, 3)};
-  auto verified = CountCandidatePairsParallel(source, candidates, 4);
+  auto verified = WithPool(4, [&](const auto& exec, ThreadPool* pool) {
+    return CountCandidatePairsParallel(source, candidates, exec, pool);
+  });
   ASSERT_TRUE(verified.ok());
   for (const VerifiedPair& v : *verified) {
     EXPECT_DOUBLE_EQ(v.similarity(),
@@ -91,14 +191,20 @@ TEST(ParallelTest, CountsMatchExactSimilarity) {
 TEST(ParallelTest, RejectsBadArguments) {
   const BinaryMatrix m = TestMatrix();
   InMemorySource source(&m);
+  ThreadPool pool(2);
   MinHashConfig config;
-  EXPECT_FALSE(ComputeMinHashParallel(source, config, 0).ok());
+  ExecutionConfig bad;
+  bad.num_threads = 0;
+  EXPECT_FALSE(ComputeMinHashParallel(source, config, bad, &pool).ok());
   EXPECT_FALSE(
-      CountCandidatePairsParallel(source, {ColumnPair(0, 1)}, 0).ok());
+      CountCandidatePairsParallel(source, {ColumnPair(0, 1)}, bad, &pool)
+          .ok());
+  const ExecutionConfig ok = Exec(2);
   EXPECT_FALSE(
-      CountCandidatePairsParallel(source, {ColumnPair(1, 1)}, 2).ok());
+      CountCandidatePairsParallel(source, {ColumnPair(1, 1)}, ok, &pool)
+          .ok());
   EXPECT_FALSE(
-      CountCandidatePairsParallel(source, {ColumnPair(0, 9999)}, 2)
+      CountCandidatePairsParallel(source, {ColumnPair(0, 9999)}, ok, &pool)
           .ok());
 }
 
@@ -114,12 +220,17 @@ TEST(ParallelTest, PropagatesOpenFailure) {
   FailingSource source;
   MinHashConfig config;
   config.num_hashes = 4;
-  EXPECT_EQ(ComputeMinHashParallel(source, config, 3).status().code(),
-            StatusCode::kIOError);
-  EXPECT_EQ(CountCandidatePairsParallel(source, {ColumnPair(0, 1)}, 3)
-                .status()
-                .code(),
-            StatusCode::kIOError);
+  for (int threads : {1, 3}) {
+    auto signatures = WithPool(threads, [&](const auto& exec, ThreadPool* pool) {
+      return ComputeMinHashParallel(source, config, exec, pool);
+    });
+    EXPECT_EQ(signatures.status().code(), StatusCode::kIOError);
+    auto counts = WithPool(threads, [&](const auto& exec, ThreadPool* pool) {
+      return CountCandidatePairsParallel(source, {ColumnPair(0, 1)}, exec,
+                                         pool);
+    });
+    EXPECT_EQ(counts.status().code(), StatusCode::kIOError);
+  }
 }
 
 TEST(ParallelTest, MoreThreadsThanRowsIsFine) {
@@ -128,13 +239,40 @@ TEST(ParallelTest, MoreThreadsThanRowsIsFine) {
   InMemorySource source(&*m);
   MinHashConfig config;
   config.num_hashes = 8;
-  auto parallel = ComputeMinHashParallel(source, config, 16);
-  auto sequential = ComputeMinHashParallel(source, config, 1);
+  auto parallel = WithPool(16, [&](const auto& exec, ThreadPool* pool) {
+    return ComputeMinHashParallel(source, config, exec, pool);
+  });
+  auto sequential = WithPool(1, [&](const auto& exec, ThreadPool* pool) {
+    return ComputeMinHashParallel(source, config, exec, pool);
+  });
   ASSERT_TRUE(parallel.ok());
   ASSERT_TRUE(sequential.ok());
   for (int l = 0; l < 8; ++l) {
     for (ColumnId c = 0; c < 2; ++c) {
       EXPECT_EQ(parallel->Value(l, c), sequential->Value(l, c));
+    }
+  }
+}
+
+TEST(ParallelTest, TinyBlocksAndQueueMatchSequential) {
+  // Stress the pipeline shape: 1-row blocks through a depth-1 queue
+  // must still reproduce the sequential signatures exactly.
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  MinHashConfig config;
+  config.num_hashes = 16;
+  config.seed = 21;
+  ExecutionConfig exec = Exec(3, /*block_rows=*/1, /*queue_depth=*/1);
+  std::unique_ptr<ThreadPool> pool = MaybeCreatePool(exec);
+  auto parallel = ComputeMinHashParallel(source, config, exec, pool.get());
+  ASSERT_TRUE(parallel.ok());
+  MinHashGenerator generator(config);
+  InMemoryRowStream stream(&m);
+  auto sequential = generator.Compute(&stream);
+  ASSERT_TRUE(sequential.ok());
+  for (int l = 0; l < 16; ++l) {
+    for (ColumnId c = 0; c < m.num_cols(); ++c) {
+      ASSERT_EQ(parallel->Value(l, c), sequential->Value(l, c));
     }
   }
 }
@@ -153,7 +291,9 @@ TEST(ParallelTest, WeblogEndToEndSpeedSanity) {
   MinHashConfig mh;
   mh.num_hashes = 64;
   mh.seed = 9;
-  auto parallel = ComputeMinHashParallel(source, mh, 4);
+  auto parallel = WithPool(4, [&](const auto& exec, ThreadPool* pool) {
+    return ComputeMinHashParallel(source, mh, exec, pool);
+  });
   ASSERT_TRUE(parallel.ok());
   MinHashGenerator generator(mh);
   InMemoryRowStream stream(&dataset->matrix);

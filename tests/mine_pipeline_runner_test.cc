@@ -295,6 +295,103 @@ TEST_F(PipelineRunnerTest, FingerprintCoversSourceShape) {
   EXPECT_NE(a, runner.FingerprintString(other));
 }
 
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << path;
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+PipelineConfig AlgorithmConfig(PipelineAlgorithm algorithm,
+                               const std::string& dir) {
+  PipelineConfig config = MlshConfig(dir);
+  config.algorithm = algorithm;
+  config.mh.min_hash.num_hashes = 24;
+  config.mh.min_hash.seed = 3;
+  config.kmh.sketch.k = 24;
+  config.kmh.sketch.seed = 3;
+  config.hlsh.lsh.rows_per_run = 8;
+  config.hlsh.lsh.num_runs = 4;
+  config.hlsh.lsh.seed = 3;
+  return config;
+}
+
+TEST_F(PipelineRunnerTest, EveryAlgorithmIsThreadCountInvariant) {
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  const PipelineAlgorithm algorithms[] = {
+      PipelineAlgorithm::kMh, PipelineAlgorithm::kKmh,
+      PipelineAlgorithm::kMlsh, PipelineAlgorithm::kHlsh};
+  for (PipelineAlgorithm algorithm : algorithms) {
+    const std::string name = PipelineAlgorithmName(algorithm);
+
+    PipelineConfig reference = AlgorithmConfig(algorithm, Path(name + "_t1"));
+    reference.execution.num_threads = 1;
+    PipelineRunner reference_runner(reference);
+    auto reference_run = reference_runner.Run(source);
+    ASSERT_TRUE(reference_run.ok()) << name;
+
+    for (int threads : {2, 3, 8}) {
+      PipelineConfig config = AlgorithmConfig(
+          algorithm, Path(name + "_t" + std::to_string(threads)));
+      config.execution.num_threads = threads;
+      config.execution.block_rows = 64;
+      PipelineRunner runner(config);
+      auto run = runner.Run(source);
+      ASSERT_TRUE(run.ok()) << name << " threads=" << threads;
+      ExpectSameReport(run->report, reference_run->report);
+
+      // The checkpoint artifacts must be byte-identical too: resumes
+      // started at a different thread count read these bytes.
+      for (const char* artifact :
+           {PipelineRunner::kSignaturesFile, PipelineRunner::kCandidatesFile,
+            PipelineRunner::kPairsFile}) {
+        EXPECT_EQ(
+            ReadFileBytes(config.checkpoint_dir + "/" + artifact),
+            ReadFileBytes(reference.checkpoint_dir + "/" + artifact))
+            << name << " threads=" << threads << " " << artifact;
+      }
+    }
+  }
+}
+
+TEST_F(PipelineRunnerTest, ResumeAcrossThreadCountsIsBitIdentical) {
+  // Kill-and-resume across a thread-count change: checkpoint at 3
+  // threads, lose the verification artifact, resume at 8 threads. The
+  // fingerprint deliberately excludes ExecutionConfig, so the resumed
+  // run must reuse the earlier stages and still match a clean
+  // sequential run exactly.
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+
+  PipelineConfig reference = AlgorithmConfig(PipelineAlgorithm::kMlsh,
+                                             Path("reference"));
+  reference.execution.num_threads = 1;
+  auto reference_run = PipelineRunner(reference).Run(source);
+  ASSERT_TRUE(reference_run.ok());
+
+  PipelineConfig config =
+      AlgorithmConfig(PipelineAlgorithm::kMlsh, Path("resumed"));
+  config.execution.num_threads = 3;
+  auto first = PipelineRunner(config).Run(source);
+  ASSERT_TRUE(first.ok());
+
+  std::filesystem::remove(Path("resumed") + "/" +
+                          PipelineRunner::kPairsFile);
+  config.resume = true;
+  config.execution.num_threads = 8;
+  auto second = PipelineRunner(config).Run(source);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->reused_signatures);
+  EXPECT_TRUE(second->reused_candidates);
+  EXPECT_FALSE(second->reused_pairs);
+  ExpectSameReport(second->report, reference_run->report);
+  EXPECT_EQ(ReadFileBytes(Path("resumed") + "/" + PipelineRunner::kPairsFile),
+            ReadFileBytes(Path("reference") + "/" +
+                          PipelineRunner::kPairsFile));
+}
+
 TEST_F(PipelineRunnerTest, CandidateIoRoundTrips) {
   std::filesystem::create_directories(Dir());
   CandidateSet candidates;

@@ -24,6 +24,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "data/dataset_io.h"
 #include "data/news_generator.h"
@@ -46,6 +47,7 @@
 #include "sketch/estimators.h"
 #include "sketch/sketch_io.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace sans::cli {
 namespace {
@@ -111,6 +113,20 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// --threads / --block-rows. Defaults to every hardware thread;
+/// --threads 1 forces the sequential reference path. Output is
+/// bit-identical either way.
+Result<ExecutionConfig> ParseExecution(const Args& args) {
+  ExecutionConfig execution;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  execution.num_threads = static_cast<int>(
+      args.GetInt("threads", hardware > 0 ? hardware : 1));
+  execution.block_rows =
+      static_cast<int>(args.GetInt("block-rows", execution.block_rows));
+  SANS_RETURN_IF_ERROR(execution.Validate());
+  return execution;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -120,8 +136,9 @@ int Usage() {
       "            [--cols N] [--seed S]\n"
       "  mine      --in FILE --algorithm mh|kmh|mlsh|hlsh|auto\n"
       "            [--threshold S] [--k K] [--r R] [--l L] [--seed S]\n"
-      "            [--checkpoint-dir DIR] [--resume] [--max-retries N]\n"
-      "            [--max-skipped-rows N]\n"
+      "            [--threads N (default: all cores; 1 = sequential)]\n"
+      "            [--block-rows N] [--checkpoint-dir DIR] [--resume]\n"
+      "            [--max-retries N] [--max-skipped-rows N]\n"
       "  rules     --in FILE [--threshold C] [--k K] [--seed S]\n"
       "  exclusions --in FILE [--support F] [--max-lift F]\n"
       "  truth     --in FILE [--threshold S]\n"
@@ -214,6 +231,9 @@ int PrintPairs(const MiningReport& report) {
 int RunPipelineMine(const Args& args, const std::string& algorithm) {
   PipelineConfig config;
   const uint64_t seed = args.GetInt("seed", 0);
+  auto execution = ParseExecution(args);
+  if (!execution.ok()) return Fail(execution.status());
+  config.execution = *execution;
   if (algorithm == "mh") {
     config.algorithm = PipelineAlgorithm::kMh;
     config.mh.min_hash.num_hashes = static_cast<int>(args.GetInt("k", 100));
@@ -316,6 +336,8 @@ int RunMine(const Args& args) {
   const double threshold = args.GetDouble("threshold", 0.5);
   const uint64_t seed = args.GetInt("seed", 0);
   const std::string algorithm = args.GetString("algorithm", "mlsh");
+  auto execution = ParseExecution(args);
+  if (!execution.ok()) return Fail(execution.status());
 
   Result<MiningReport> report = Status::Unimplemented("");
   if (algorithm == "mh") {
@@ -323,6 +345,7 @@ int RunMine(const Args& args) {
     config.min_hash.num_hashes = static_cast<int>(args.GetInt("k", 100));
     config.min_hash.seed = seed;
     config.delta = args.GetDouble("delta", 0.25);
+    config.execution = *execution;
     MhMiner miner(config);
     report = miner.Mine(source, threshold);
   } else if (algorithm == "kmh") {
@@ -330,6 +353,7 @@ int RunMine(const Args& args) {
     config.sketch.k = static_cast<int>(args.GetInt("k", 100));
     config.sketch.seed = seed;
     config.delta = args.GetDouble("delta", 0.25);
+    config.execution = *execution;
     KmhMiner miner(config);
     report = miner.Mine(source, threshold);
   } else if (algorithm == "mlsh") {
@@ -337,6 +361,7 @@ int RunMine(const Args& args) {
     config.lsh.rows_per_band = static_cast<int>(args.GetInt("r", 5));
     config.lsh.num_bands = static_cast<int>(args.GetInt("l", 20));
     config.seed = seed;
+    config.execution = *execution;
     MlshMiner miner(config);
     report = miner.Mine(source, threshold);
   } else if (algorithm == "hlsh") {
@@ -344,6 +369,7 @@ int RunMine(const Args& args) {
     config.lsh.rows_per_run = static_cast<int>(args.GetInt("r", 12));
     config.lsh.num_runs = static_cast<int>(args.GetInt("l", 4));
     config.lsh.seed = seed;
+    config.execution = *execution;
     HlshMiner miner(config);
     report = miner.Mine(source, threshold);
   } else if (algorithm == "auto") {
@@ -365,13 +391,18 @@ int RunMine(const Args& args) {
     opt.s0 = threshold;
     opt.max_false_negatives = args.GetDouble("max-fn", 5.0);
     opt.max_false_positives = args.GetDouble("max-fp", 1e6);
-    auto miner = MlshMiner::FromDistribution(distr, opt,
-                                             HashFamily::kSplitMix64, seed);
-    if (!miner.ok()) return Fail(miner.status());
+    auto optimized = MlshMiner::FromDistribution(distr, opt,
+                                                 HashFamily::kSplitMix64, seed);
+    if (!optimized.ok()) return Fail(optimized.status());
     std::fprintf(stderr, "auto-selected r=%d l=%d\n",
-                 miner->config().lsh.rows_per_band,
-                 miner->config().lsh.num_bands);
-    report = miner->Mine(source, threshold);
+                 optimized->config().lsh.rows_per_band,
+                 optimized->config().lsh.num_bands);
+    // Rebuild with the execution knobs (FromDistribution only derives
+    // the algorithmic parameters).
+    MlshMinerConfig config = optimized->config();
+    config.execution = *execution;
+    MlshMiner miner(config);
+    report = miner.Mine(source, threshold);
   } else {
     std::fprintf(stderr, "unknown --algorithm '%s'\n", algorithm.c_str());
     return 2;
