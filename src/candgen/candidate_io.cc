@@ -2,71 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
-#include <memory>
 
-#include "util/crc32c.h"
+#include "util/checksum_io.h"
 
 namespace sans {
 namespace {
-
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using File = std::unique_ptr<std::FILE, FileCloser>;
-
-struct CrcFile {
-  std::FILE* f = nullptr;
-  uint32_t crc = 0;
-
-  Status Write(const void* data, size_t size) {
-    if (std::fwrite(data, 1, size, f) != size) {
-      return Status::IOError("short write");
-    }
-    crc = Crc32cExtend(crc, data, size);
-    return Status::OK();
-  }
-
-  Status Read(void* data, size_t size) {
-    if (std::fread(data, 1, size, f) != size) {
-      return Status::Corruption("short read");
-    }
-    crc = Crc32cExtend(crc, data, size);
-    return Status::OK();
-  }
-
-  template <typename T>
-  Status WriteScalar(T value) {
-    return Write(&value, sizeof(value));
-  }
-
-  template <typename T>
-  Status ReadScalar(T* value) {
-    return Read(value, sizeof(*value));
-  }
-
-  Status WriteTrailer() {
-    const uint32_t masked = Crc32cMask(crc);
-    if (std::fwrite(&masked, sizeof(masked), 1, f) != 1) {
-      return Status::IOError("short write of crc trailer");
-    }
-    return Status::OK();
-  }
-
-  Status VerifyTrailer() {
-    const uint32_t expected = crc;
-    uint32_t masked = 0;
-    if (std::fread(&masked, sizeof(masked), 1, f) != 1) {
-      return Status::Corruption("missing crc trailer");
-    }
-    if (Crc32cUnmask(masked) != expected) {
-      return Status::Corruption("crc mismatch in checkpoint artifact");
-    }
-    return Status::OK();
-  }
-};
 
 Status CheckHeader(CrcFile* f, uint32_t expected_magic, uint64_t* count) {
   uint32_t magic = 0;
@@ -124,7 +64,7 @@ Result<CandidateSet> ReadCandidateSet(const std::string& path) {
     }
     candidates.Add(ColumnPair(first, second), evidence);
   }
-  SANS_RETURN_IF_ERROR(f.VerifyTrailer());
+  SANS_RETURN_IF_ERROR(f.VerifyTrailer("checkpoint artifact"));
   return candidates;
 }
 
@@ -143,10 +83,7 @@ Status WriteSimilarPairs(const std::vector<SimilarPair>& pairs,
     SANS_RETURN_IF_ERROR(f.WriteScalar(p.pair.second));
     // Exact double bits, so a reloaded checkpoint reproduces the
     // clean-run output byte for byte.
-    uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(p.similarity));
-    std::memcpy(&bits, &p.similarity, sizeof(bits));
-    SANS_RETURN_IF_ERROR(f.WriteScalar(bits));
+    SANS_RETURN_IF_ERROR(f.WriteScalar(p.similarity));
   }
   return f.WriteTrailer();
 }
@@ -165,14 +102,12 @@ Result<std::vector<SimilarPair>> ReadSimilarPairs(const std::string& path) {
   pairs.reserve(static_cast<size_t>(std::min<uint64_t>(count, 1u << 20)));
   for (uint64_t i = 0; i < count; ++i) {
     SimilarPair p;
-    uint64_t bits = 0;
     SANS_RETURN_IF_ERROR(f.ReadScalar(&p.pair.first));
     SANS_RETURN_IF_ERROR(f.ReadScalar(&p.pair.second));
-    SANS_RETURN_IF_ERROR(f.ReadScalar(&bits));
-    std::memcpy(&p.similarity, &bits, sizeof(bits));
+    SANS_RETURN_IF_ERROR(f.ReadScalar(&p.similarity));
     pairs.push_back(p);
   }
-  SANS_RETURN_IF_ERROR(f.VerifyTrailer());
+  SANS_RETURN_IF_ERROR(f.VerifyTrailer("checkpoint artifact"));
   return pairs;
 }
 

@@ -1,0 +1,162 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sans {
+
+Client::Client(const ClientConfig& config) : config_(config) {}
+
+Client::~Client() { Disconnect(); }
+
+Result<std::unique_ptr<Client>> Client::Connect(const ClientConfig& config) {
+  SANS_RETURN_IF_ERROR(config.retry.Validate());
+  if (config.recv_timeout_ms < 1) {
+    return Status::InvalidArgument("recv_timeout_ms must be >= 1");
+  }
+  std::unique_ptr<Client> client(new Client(config));
+  SANS_RETURN_IF_ERROR(RunWithRetry(
+      config.retry, [&] { return client->ConnectOnce(); },
+      &client->retry_stats_));
+  return client;
+}
+
+Status Client::ConnectOnce() {
+  Disconnect();
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("cannot parse server address \"" +
+                                   config_.host + "\"");
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Status::IOError(
+        "connect to " + config_.host + ":" + std::to_string(config_.port) +
+        " failed: " + std::strerror(errno));
+    close(fd);
+    return status;
+  }
+  timeval tv{};
+  tv.tv_sec = config_.recv_timeout_ms / 1000;
+  tv.tv_usec = (config_.recv_timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  fd_ = fd;
+  return Status::OK();
+}
+
+void Client::Disconnect() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::vector<unsigned char>> Client::RoundtripOnce(
+    const std::vector<unsigned char>& request) {
+  if (fd_ < 0) SANS_RETURN_IF_ERROR(ConnectOnce());
+  Status status = WriteFrame(fd_, request);
+  if (!status.ok()) {
+    Disconnect();
+    return status;
+  }
+  ReadFrameOptions options;
+  // A timeout while awaiting the response is a failed attempt, not a
+  // poll tick — the request may be lost, so reconnect and resend.
+  options.retry_timeouts_midframe = false;
+  std::vector<unsigned char> payload;
+  auto event = ReadFrame(fd_, &payload, options);
+  if (!event.ok()) {
+    Disconnect();
+    return event.status();
+  }
+  if (*event != FrameEvent::kPayload) {
+    Disconnect();
+    return Status::IOError(*event == FrameEvent::kClosed
+                               ? "server closed the connection"
+                               : "timed out waiting for the response");
+  }
+  return payload;
+}
+
+Result<std::vector<unsigned char>> Client::Roundtrip(
+    const std::vector<unsigned char>& request) {
+  return RunWithRetry(
+      config_.retry, [&] { return RoundtripOnce(request); }, &retry_stats_);
+}
+
+namespace {
+
+/// Positions `reader` past the response code of an OK response; error
+/// responses come back as the carried Status.
+Status OpenResponse(const std::vector<unsigned char>& payload,
+                    WireReader* reader) {
+  *reader = WireReader(payload);
+  SANS_ASSIGN_OR_RETURN(const ResponseCode code, DecodeResponseCode(reader));
+  if (code == ResponseCode::kError) {
+    Status carried = DecodeErrorResponse(reader);
+    if (carried.ok()) {
+      return Status::Corruption("error response decoded as OK");
+    }
+    return carried;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Client::Ping() {
+  SANS_ASSIGN_OR_RETURN(const std::vector<unsigned char> payload,
+                        Roundtrip(EncodePingRequest()));
+  WireReader reader({});
+  SANS_RETURN_IF_ERROR(OpenResponse(payload, &reader));
+  return reader.ExpectEnd();
+}
+
+Result<std::vector<Neighbor>> Client::TopK(ColumnId col, uint32_t k,
+                                           double min_similarity) {
+  SANS_ASSIGN_OR_RETURN(const std::vector<unsigned char> payload,
+                        Roundtrip(EncodeTopKRequest(col, k, min_similarity)));
+  WireReader reader({});
+  SANS_RETURN_IF_ERROR(OpenResponse(payload, &reader));
+  return DecodeTopKResponse(&reader);
+}
+
+Result<double> Client::PairSimilarity(ColumnId a, ColumnId b) {
+  SANS_ASSIGN_OR_RETURN(const std::vector<unsigned char> payload,
+                        Roundtrip(EncodePairSimilarityRequest(a, b)));
+  WireReader reader({});
+  SANS_RETURN_IF_ERROR(OpenResponse(payload, &reader));
+  return DecodePairSimilarityResponse(&reader);
+}
+
+Result<ServerStatsSnapshot> Client::Stats() {
+  SANS_ASSIGN_OR_RETURN(const std::vector<unsigned char> payload,
+                        Roundtrip(EncodeStatsRequest()));
+  WireReader reader({});
+  SANS_RETURN_IF_ERROR(OpenResponse(payload, &reader));
+  return DecodeStatsResponse(&reader);
+}
+
+Result<uint64_t> Client::Reload(const std::string& index_path) {
+  SANS_ASSIGN_OR_RETURN(const std::vector<unsigned char> payload,
+                        Roundtrip(EncodeReloadRequest(index_path)));
+  WireReader reader({});
+  SANS_RETURN_IF_ERROR(OpenResponse(payload, &reader));
+  return DecodeReloadResponse(&reader);
+}
+
+}  // namespace sans

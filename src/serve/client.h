@@ -1,0 +1,73 @@
+// Blocking client for the sans serve wire protocol. One Client owns
+// one TCP connection; every RPC is a frame round trip wrapped in
+// util/retry — a broken or timed-out connection surfaces as kIOError,
+// which the retry policy treats as transient, and each retry attempt
+// reconnects from scratch. Server-reported errors come back as the
+// original Status (code and message) and are not retried unless the
+// code itself is transient.
+
+#ifndef SANS_SERVE_CLIENT_H_
+#define SANS_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace sans {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Per-frame receive timeout; expiry fails the attempt with
+  /// kIOError so the retry policy can take over.
+  int recv_timeout_ms = 5000;
+  /// Transport-level retry (reconnect between attempts).
+  RetryPolicy retry;
+};
+
+class Client {
+ public:
+  /// Creates a client and performs the initial connect (with retry).
+  static Result<std::unique_ptr<Client>> Connect(const ClientConfig& config);
+
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Ping();
+  Result<std::vector<Neighbor>> TopK(ColumnId col, uint32_t k,
+                                     double min_similarity = 0.0);
+  Result<double> PairSimilarity(ColumnId a, ColumnId b);
+  Result<ServerStatsSnapshot> Stats();
+  /// Asks the server to load `index_path`; returns the new epoch.
+  Result<uint64_t> Reload(const std::string& index_path);
+
+  /// Statistics of the transport retry loop (reconnects taken).
+  const RetryStats& retry_stats() const { return retry_stats_; }
+
+ private:
+  explicit Client(const ClientConfig& config);
+
+  Status ConnectOnce();
+  void Disconnect();
+  /// One request/response exchange on the current connection;
+  /// reconnects first when the connection is down.
+  Result<std::vector<unsigned char>> RoundtripOnce(
+      const std::vector<unsigned char>& request);
+  /// RoundtripOnce under the retry policy.
+  Result<std::vector<unsigned char>> Roundtrip(
+      const std::vector<unsigned char>& request);
+
+  ClientConfig config_;
+  int fd_ = -1;
+  RetryStats retry_stats_;
+};
+
+}  // namespace sans
+
+#endif  // SANS_SERVE_CLIENT_H_

@@ -1,0 +1,395 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/endian.h"
+
+namespace sans {
+
+void WireWriter::PutU32(uint32_t value) {
+  unsigned char buf[4];
+  EncodeLE32(value, buf);
+  bytes_.insert(bytes_.end(), buf, buf + sizeof(buf));
+}
+
+void WireWriter::PutU64(uint64_t value) {
+  unsigned char buf[8];
+  EncodeLE64(value, buf);
+  bytes_.insert(bytes_.end(), buf, buf + sizeof(buf));
+}
+
+void WireWriter::PutDouble(double value) {
+  unsigned char buf[8];
+  EncodeLEDouble(value, buf);
+  bytes_.insert(bytes_.end(), buf, buf + sizeof(buf));
+}
+
+void WireWriter::PutBytes(std::string_view bytes) {
+  PutU32(static_cast<uint32_t>(bytes.size()));
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+}
+
+Status WireReader::Need(size_t n) const {
+  if (payload_.size() - pos_ < n) {
+    return Status::Corruption("wire payload underflow: need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(payload_.size() - pos_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> WireReader::GetU8() {
+  SANS_RETURN_IF_ERROR(Need(1));
+  return payload_[pos_++];
+}
+
+Result<uint32_t> WireReader::GetU32() {
+  SANS_RETURN_IF_ERROR(Need(4));
+  const uint32_t value = DecodeLE32(payload_.data() + pos_);
+  pos_ += 4;
+  return value;
+}
+
+Result<uint64_t> WireReader::GetU64() {
+  SANS_RETURN_IF_ERROR(Need(8));
+  const uint64_t value = DecodeLE64(payload_.data() + pos_);
+  pos_ += 8;
+  return value;
+}
+
+Result<double> WireReader::GetDouble() {
+  SANS_RETURN_IF_ERROR(Need(8));
+  const double value = DecodeLEDouble(payload_.data() + pos_);
+  pos_ += 8;
+  return value;
+}
+
+Result<std::string> WireReader::GetBytes() {
+  SANS_ASSIGN_OR_RETURN(const uint32_t size, GetU32());
+  SANS_RETURN_IF_ERROR(Need(size));
+  std::string bytes(reinterpret_cast<const char*>(payload_.data() + pos_),
+                    size);
+  pos_ += size;
+  return bytes;
+}
+
+Status WireReader::ExpectEnd() const {
+  if (pos_ != payload_.size()) {
+    return Status::Corruption(
+        "wire payload has " + std::to_string(payload_.size() - pos_) +
+        " trailing bytes after the decoded message");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Outcome of one blocking read attempt of exactly `size` bytes.
+enum class ReadOutcome { kDone, kEof, kTimeout };
+
+/// Reads exactly `size` bytes unless EOF/timeout intervenes.
+/// `*got` reports how many bytes landed (partial on kEof/kTimeout).
+Result<ReadOutcome> ReadFully(int fd, unsigned char* buf, size_t size,
+                              size_t* got, const ReadFrameOptions& options,
+                              bool frame_started) {
+  *got = 0;
+  while (*got < size) {
+    const ssize_t n = recv(fd, buf + *got, size - *got, 0);
+    if (n > 0) {
+      *got += static_cast<size_t>(n);
+      frame_started = true;
+      continue;
+    }
+    if (n == 0) return ReadOutcome::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // SO_RCVTIMEO tick: give the caller a chance to cancel, then
+      // either keep waiting (server) or report the timeout (client).
+      if (options.cancel != nullptr &&
+          options.cancel->load(std::memory_order_acquire)) {
+        return ReadOutcome::kTimeout;
+      }
+      if (frame_started && options.retry_timeouts_midframe) continue;
+      return ReadOutcome::kTimeout;
+    }
+    return Status::IOError(std::string("recv failed: ") +
+                           std::strerror(errno));
+  }
+  return ReadOutcome::kDone;
+}
+
+}  // namespace
+
+Result<FrameEvent> ReadFrame(int fd, std::vector<unsigned char>* payload,
+                             const ReadFrameOptions& options) {
+  unsigned char header[4];
+  size_t got = 0;
+  SANS_ASSIGN_OR_RETURN(
+      ReadOutcome outcome,
+      ReadFully(fd, header, sizeof(header), &got, options,
+                /*frame_started=*/false));
+  if (outcome == ReadOutcome::kTimeout && got == 0) return FrameEvent::kTimeout;
+  if (outcome == ReadOutcome::kEof && got == 0) return FrameEvent::kClosed;
+  if (outcome != ReadOutcome::kDone) {
+    return Status::Corruption("connection ended mid-frame after " +
+                              std::to_string(got) + " header bytes");
+  }
+  const uint32_t size = DecodeLE32(header);
+  if (size > kMaxFramePayload) {
+    return Status::Corruption("frame payload of " + std::to_string(size) +
+                              " bytes exceeds the " +
+                              std::to_string(kMaxFramePayload) +
+                              "-byte protocol limit");
+  }
+  payload->resize(size);
+  if (size > 0) {
+    SANS_ASSIGN_OR_RETURN(outcome, ReadFully(fd, payload->data(), size, &got,
+                                             options, /*frame_started=*/true));
+    if (outcome != ReadOutcome::kDone) {
+      return Status::Corruption("connection ended mid-frame after " +
+                                std::to_string(got) + " of " +
+                                std::to_string(size) + " payload bytes");
+    }
+  }
+  return FrameEvent::kPayload;
+}
+
+Status WriteFrame(int fd, std::span<const unsigned char> payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload of " +
+                                   std::to_string(payload.size()) +
+                                   " bytes exceeds the protocol limit");
+  }
+  unsigned char header[4];
+  EncodeLE32(static_cast<uint32_t>(payload.size()), header);
+  std::vector<unsigned char> frame;
+  frame.reserve(sizeof(header) + payload.size());
+  frame.insert(frame.end(), header, header + sizeof(header));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("send failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+// ---- Requests --------------------------------------------------------
+
+std::vector<unsigned char> EncodePingRequest() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(Opcode::kPing));
+  return w.TakePayload();
+}
+
+std::vector<unsigned char> EncodeTopKRequest(ColumnId col, uint32_t k,
+                                             double min_similarity) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(Opcode::kTopK));
+  w.PutU32(col);
+  w.PutU32(k);
+  w.PutDouble(min_similarity);
+  return w.TakePayload();
+}
+
+std::vector<unsigned char> EncodePairSimilarityRequest(ColumnId a,
+                                                       ColumnId b) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(Opcode::kPairSimilarity));
+  w.PutU32(a);
+  w.PutU32(b);
+  return w.TakePayload();
+}
+
+std::vector<unsigned char> EncodeStatsRequest() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(Opcode::kStats));
+  return w.TakePayload();
+}
+
+std::vector<unsigned char> EncodeReloadRequest(std::string_view index_path) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(Opcode::kReload));
+  w.PutBytes(index_path);
+  return w.TakePayload();
+}
+
+Result<TopKRequest> DecodeTopKRequest(WireReader* reader) {
+  TopKRequest request;
+  SANS_ASSIGN_OR_RETURN(request.col, reader->GetU32());
+  SANS_ASSIGN_OR_RETURN(request.k, reader->GetU32());
+  SANS_ASSIGN_OR_RETURN(request.min_similarity, reader->GetDouble());
+  SANS_RETURN_IF_ERROR(reader->ExpectEnd());
+  return request;
+}
+
+Result<std::pair<ColumnId, ColumnId>> DecodePairSimilarityRequest(
+    WireReader* reader) {
+  std::pair<ColumnId, ColumnId> cols;
+  SANS_ASSIGN_OR_RETURN(cols.first, reader->GetU32());
+  SANS_ASSIGN_OR_RETURN(cols.second, reader->GetU32());
+  SANS_RETURN_IF_ERROR(reader->ExpectEnd());
+  return cols;
+}
+
+Result<std::string> DecodeReloadRequest(WireReader* reader) {
+  SANS_ASSIGN_OR_RETURN(std::string path, reader->GetBytes());
+  SANS_RETURN_IF_ERROR(reader->ExpectEnd());
+  return path;
+}
+
+// ---- Responses -------------------------------------------------------
+
+namespace {
+
+WireWriter OkHeader() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(ResponseCode::kOk));
+  return w;
+}
+
+}  // namespace
+
+std::vector<unsigned char> EncodeOkResponse() {
+  return OkHeader().TakePayload();
+}
+
+std::vector<unsigned char> EncodeTopKResponse(
+    std::span<const Neighbor> neighbors) {
+  WireWriter w = OkHeader();
+  w.PutU32(static_cast<uint32_t>(neighbors.size()));
+  for (const Neighbor& n : neighbors) {
+    w.PutU32(n.col);
+    w.PutDouble(n.similarity);
+  }
+  return w.TakePayload();
+}
+
+std::vector<unsigned char> EncodePairSimilarityResponse(double similarity) {
+  WireWriter w = OkHeader();
+  w.PutDouble(similarity);
+  return w.TakePayload();
+}
+
+std::vector<unsigned char> EncodeStatsResponse(
+    const ServerStatsSnapshot& stats) {
+  WireWriter w = OkHeader();
+  w.PutU64(stats.requests);
+  w.PutU64(stats.errors);
+  w.PutU64(stats.reloads);
+  w.PutU64(stats.epoch);
+  w.PutDouble(stats.p50_seconds);
+  w.PutDouble(stats.p95_seconds);
+  w.PutDouble(stats.p99_seconds);
+  return w.TakePayload();
+}
+
+std::vector<unsigned char> EncodeReloadResponse(uint64_t epoch) {
+  WireWriter w = OkHeader();
+  w.PutU64(epoch);
+  return w.TakePayload();
+}
+
+std::vector<unsigned char> EncodeErrorResponse(const Status& status) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(ResponseCode::kError));
+  w.PutU8(static_cast<uint8_t>(status.code()));
+  w.PutBytes(status.message());
+  return w.TakePayload();
+}
+
+Result<ResponseCode> DecodeResponseCode(WireReader* reader) {
+  SANS_ASSIGN_OR_RETURN(const uint8_t code, reader->GetU8());
+  if (code != static_cast<uint8_t>(ResponseCode::kOk) &&
+      code != static_cast<uint8_t>(ResponseCode::kError)) {
+    return Status::Corruption("unknown response code " + std::to_string(code));
+  }
+  return static_cast<ResponseCode>(code);
+}
+
+Result<std::vector<Neighbor>> DecodeTopKResponse(WireReader* reader) {
+  SANS_ASSIGN_OR_RETURN(const uint32_t count, reader->GetU32());
+  // Each entry is 12 bytes; a count beyond the remaining payload is a
+  // lie, reject before allocating.
+  if (reader->remaining() / 12 < count) {
+    return Status::Corruption("TopK response count " + std::to_string(count) +
+                              " exceeds the payload");
+  }
+  std::vector<Neighbor> neighbors;
+  neighbors.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Neighbor n;
+    SANS_ASSIGN_OR_RETURN(n.col, reader->GetU32());
+    SANS_ASSIGN_OR_RETURN(n.similarity, reader->GetDouble());
+    neighbors.push_back(n);
+  }
+  SANS_RETURN_IF_ERROR(reader->ExpectEnd());
+  return neighbors;
+}
+
+Result<double> DecodePairSimilarityResponse(WireReader* reader) {
+  SANS_ASSIGN_OR_RETURN(const double similarity, reader->GetDouble());
+  SANS_RETURN_IF_ERROR(reader->ExpectEnd());
+  return similarity;
+}
+
+Result<ServerStatsSnapshot> DecodeStatsResponse(WireReader* reader) {
+  ServerStatsSnapshot stats;
+  SANS_ASSIGN_OR_RETURN(stats.requests, reader->GetU64());
+  SANS_ASSIGN_OR_RETURN(stats.errors, reader->GetU64());
+  SANS_ASSIGN_OR_RETURN(stats.reloads, reader->GetU64());
+  SANS_ASSIGN_OR_RETURN(stats.epoch, reader->GetU64());
+  SANS_ASSIGN_OR_RETURN(stats.p50_seconds, reader->GetDouble());
+  SANS_ASSIGN_OR_RETURN(stats.p95_seconds, reader->GetDouble());
+  SANS_ASSIGN_OR_RETURN(stats.p99_seconds, reader->GetDouble());
+  SANS_RETURN_IF_ERROR(reader->ExpectEnd());
+  return stats;
+}
+
+Result<uint64_t> DecodeReloadResponse(WireReader* reader) {
+  SANS_ASSIGN_OR_RETURN(const uint64_t epoch, reader->GetU64());
+  SANS_RETURN_IF_ERROR(reader->ExpectEnd());
+  return epoch;
+}
+
+Status DecodeErrorResponse(WireReader* reader) {
+  const auto code = reader->GetU8();
+  if (!code.ok()) return code.status();
+  auto message = reader->GetBytes();
+  if (!message.ok()) return message.status();
+  SANS_RETURN_IF_ERROR(reader->ExpectEnd());
+  const uint8_t c = code.value();
+  if (c == 0 || c > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Corruption("error response carries invalid status code " +
+                              std::to_string(c));
+  }
+  switch (static_cast<StatusCode>(c)) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message).value());
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message).value());
+    case StatusCode::kIOError:
+      return Status::IOError(std::move(message).value());
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message).value());
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(message).value());
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(message).value());
+    default:
+      return Status::Internal(std::move(message).value());
+  }
+}
+
+}  // namespace sans

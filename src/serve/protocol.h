@@ -1,0 +1,174 @@
+// Length-prefixed binary wire protocol shared by the server, the
+// client, and the protocol fuzz tests.
+//
+// Every message travels as one frame: [payload_len u32 LE][payload],
+// payload_len <= kMaxFramePayload. A request payload starts with an
+// Opcode byte; a response payload starts with a ResponseCode byte. An
+// error response body is [StatusCode u8][message bytes], so the client
+// reconstructs the server-side Status verbatim. All multi-byte scalars
+// are little-endian through util/endian.h — the same portability-
+// checked helpers the on-disk formats use.
+//
+// Framing is deliberately defensive: an oversized length prefix, a
+// short read mid-frame, or trailing bytes after a decoded body are
+// kCorruption, never a crash or an over-allocation — the server keeps
+// serving other connections and the client surfaces a clean Status.
+
+#ifndef SANS_SERVE_PROTOCOL_H_
+#define SANS_SERVE_PROTOCOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/query_engine.h"
+#include "util/status.h"
+
+namespace sans {
+
+/// Largest payload either side accepts. Bounds per-connection memory
+/// and rejects garbage length prefixes before any allocation.
+inline constexpr uint32_t kMaxFramePayload = 1u << 20;
+
+enum class Opcode : uint8_t {
+  kPing = 1,
+  kTopK = 2,
+  kPairSimilarity = 3,
+  kStats = 4,
+  kReload = 5,
+};
+
+enum class ResponseCode : uint8_t {
+  kOk = 0,
+  kError = 1,
+};
+
+/// Point-in-time server counters returned by kStats.
+struct ServerStatsSnapshot {
+  uint64_t requests = 0;  // frames answered, errors included
+  uint64_t errors = 0;    // error responses sent
+  uint64_t reloads = 0;   // successful index reloads
+  uint64_t epoch = 0;     // increments on every successful reload
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+
+  friend bool operator==(const ServerStatsSnapshot&,
+                         const ServerStatsSnapshot&) = default;
+};
+
+/// Append-only payload builder.
+class WireWriter {
+ public:
+  void PutU8(uint8_t value) { bytes_.push_back(value); }
+  void PutU32(uint32_t value);
+  void PutU64(uint64_t value);
+  void PutDouble(double value);
+  /// Length-prefixed (u32) byte string.
+  void PutBytes(std::string_view bytes);
+
+  std::span<const unsigned char> payload() const { return bytes_; }
+  std::vector<unsigned char> TakePayload() { return std::move(bytes_); }
+
+ private:
+  std::vector<unsigned char> bytes_;
+};
+
+/// Bounds-checked payload cursor. Every Get* returns kCorruption on
+/// underflow; decoders finish with ExpectEnd() so trailing garbage is
+/// rejected too.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const unsigned char> payload)
+      : payload_(payload) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<double> GetDouble();
+  /// Length-prefixed byte string (length capped by the payload size).
+  Result<std::string> GetBytes();
+
+  size_t remaining() const { return payload_.size() - pos_; }
+  Status ExpectEnd() const;
+
+ private:
+  Status Need(size_t n) const;
+
+  std::span<const unsigned char> payload_;
+  size_t pos_ = 0;
+};
+
+/// What ReadFrame observed.
+enum class FrameEvent {
+  kPayload,  // a complete frame was read into `payload`
+  kClosed,   // peer closed cleanly at a frame boundary
+  kTimeout,  // receive timeout expired before the first header byte
+};
+
+struct ReadFrameOptions {
+  /// Checked between receive timeouts; when it flips true mid-wait the
+  /// read returns kTimeout. Lets server connections poll a stop flag.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Server-side: keep waiting through receive timeouts once a frame
+  /// has started (a slow client is not an error). Client-side false:
+  /// a timeout mid-response is an IOError worth retrying.
+  bool retry_timeouts_midframe = true;
+};
+
+/// Reads one frame from `fd`. kClosed only at a clean frame boundary;
+/// EOF mid-frame is kCorruption. A length prefix over kMaxFramePayload
+/// is kCorruption (no allocation happens). Receive timeouts on the fd
+/// (SO_RCVTIMEO) surface as kTimeout before the first byte of a frame.
+Result<FrameEvent> ReadFrame(int fd, std::vector<unsigned char>* payload,
+                             const ReadFrameOptions& options = {});
+
+/// Writes [size u32][payload] to `fd`, suppressing SIGPIPE.
+Status WriteFrame(int fd, std::span<const unsigned char> payload);
+
+// ---- Typed message encoding ------------------------------------------
+
+std::vector<unsigned char> EncodePingRequest();
+std::vector<unsigned char> EncodeTopKRequest(ColumnId col, uint32_t k,
+                                             double min_similarity);
+std::vector<unsigned char> EncodePairSimilarityRequest(ColumnId a, ColumnId b);
+std::vector<unsigned char> EncodeStatsRequest();
+std::vector<unsigned char> EncodeReloadRequest(std::string_view index_path);
+
+struct TopKRequest {
+  ColumnId col = 0;
+  uint32_t k = 0;
+  double min_similarity = 0.0;
+};
+
+/// Request decoders consume a payload whose leading opcode byte has
+/// already been read and matched by the server dispatch loop.
+Result<TopKRequest> DecodeTopKRequest(WireReader* reader);
+Result<std::pair<ColumnId, ColumnId>> DecodePairSimilarityRequest(
+    WireReader* reader);
+Result<std::string> DecodeReloadRequest(WireReader* reader);
+
+std::vector<unsigned char> EncodeOkResponse();
+std::vector<unsigned char> EncodeTopKResponse(
+    std::span<const Neighbor> neighbors);
+std::vector<unsigned char> EncodePairSimilarityResponse(double similarity);
+std::vector<unsigned char> EncodeStatsResponse(
+    const ServerStatsSnapshot& stats);
+std::vector<unsigned char> EncodeReloadResponse(uint64_t epoch);
+std::vector<unsigned char> EncodeErrorResponse(const Status& status);
+
+/// Splits a response payload into its code and body; the body decoders
+/// below consume the remainder. A kError response decodes back into
+/// the original Status via DecodeErrorResponse.
+Result<ResponseCode> DecodeResponseCode(WireReader* reader);
+Result<std::vector<Neighbor>> DecodeTopKResponse(WireReader* reader);
+Result<double> DecodePairSimilarityResponse(WireReader* reader);
+Result<ServerStatsSnapshot> DecodeStatsResponse(WireReader* reader);
+Result<uint64_t> DecodeReloadResponse(WireReader* reader);
+Status DecodeErrorResponse(WireReader* reader);
+
+}  // namespace sans
+
+#endif  // SANS_SERVE_PROTOCOL_H_

@@ -1,0 +1,116 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "sketch/estimators.h"
+#include "util/bounded_heap.h"
+
+namespace sans {
+
+QueryEngine::QueryEngine(std::shared_ptr<const SimilarityIndex> index)
+    : index_(std::move(index)) {
+  SANS_CHECK(index_ != nullptr);
+}
+
+namespace {
+
+Status ValidateColumn(const SimilarityIndex& index, ColumnId col,
+                      const char* what) {
+  if (col >= index.num_cols()) {
+    return Status::InvalidArgument(std::string(what) + " column " +
+                                   std::to_string(col) +
+                                   " out of range (num_cols=" +
+                                   std::to_string(index.num_cols()) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<Neighbor>> QueryEngine::TopK(ColumnId col, int k,
+                                                double min_similarity,
+                                                TopKInfo* info) const {
+  SANS_RETURN_IF_ERROR(ValidateColumn(*index_, col, "query"));
+  if (k <= 0) {
+    return Status::InvalidArgument("k must be positive, got " +
+                                   std::to_string(k));
+  }
+  if (info != nullptr) *info = TopKInfo{};
+
+  const auto query_sketch = index_->Sketch(col);
+  const int sketch_k = index_->sketch_k();
+
+  // Collect distinct bucket-mates across all l bands.
+  std::vector<ColumnId> candidates;
+  for (int band = 0; band < index_->num_bands(); ++band) {
+    const auto bucket = index_->Bucket(band, col);
+    candidates.insert(candidates.end(), bucket.begin(), bucket.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::erase(candidates, col);
+  if (info != nullptr) info->bucket_candidates = candidates.size();
+
+  // When the filter yields fewer candidates than requested, widen to a
+  // linear scan so small datasets and sparse buckets still get k
+  // answers. Empty columns can never be similar to anything; skip them.
+  const bool fallback =
+      candidates.size() < static_cast<size_t>(k) &&
+      static_cast<uint64_t>(candidates.size()) + 1 < index_->num_cols();
+  if (info != nullptr) info->fallback_scan = fallback;
+
+  BoundedMaxHeap<Neighbor> best(static_cast<size_t>(k));
+  const auto consider = [&](ColumnId other) {
+    if (other == col) return;
+    if (index_->Cardinality(other) == 0) return;
+    const double similarity =
+        EstimateSimilarityUnbiased(query_sketch, index_->Sketch(other),
+                                   sketch_k);
+    if (similarity < min_similarity) return;
+    best.Offer(Neighbor{other, similarity});
+  };
+
+  if (fallback) {
+    for (ColumnId other = 0; other < index_->num_cols(); ++other) {
+      consider(other);
+    }
+  } else {
+    for (ColumnId other : candidates) consider(other);
+  }
+  // Neighbor's operator< ranks "more similar" as smaller, so the k
+  // smallest retained values come out best-first.
+  return best.TakeSortedValues();
+}
+
+Result<double> QueryEngine::PairSimilarity(ColumnId a, ColumnId b) const {
+  SANS_RETURN_IF_ERROR(ValidateColumn(*index_, a, "first"));
+  SANS_RETURN_IF_ERROR(ValidateColumn(*index_, b, "second"));
+  if (a == b) return 1.0;
+  return EstimateSimilarityUnbiased(index_->Sketch(a), index_->Sketch(b),
+                                    index_->sketch_k());
+}
+
+Result<std::vector<std::vector<Neighbor>>> QueryEngine::BatchTopK(
+    std::span<const ColumnId> cols, int k, double min_similarity,
+    ThreadPool* pool) const {
+  std::vector<std::vector<Neighbor>> results(cols.size());
+  const auto run_one = [&](int64_t i) -> Status {
+    SANS_ASSIGN_OR_RETURN(results[i],
+                          TopK(cols[i], k, min_similarity, nullptr));
+    return Status::OK();
+  };
+  if (pool == nullptr) {
+    for (int64_t i = 0; i < static_cast<int64_t>(cols.size()); ++i) {
+      SANS_RETURN_IF_ERROR(run_one(i));
+    }
+  } else {
+    SANS_RETURN_IF_ERROR(
+        pool->ParallelFor(static_cast<int64_t>(cols.size()), run_one));
+  }
+  return results;
+}
+
+}  // namespace sans

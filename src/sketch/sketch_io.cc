@@ -1,79 +1,19 @@
 #include "sketch/sketch_io.h"
 
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "util/crc32c.h"
+#include "util/checksum_io.h"
 
 namespace sans {
 namespace {
 
-/// RAII FILE handle.
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using File = std::unique_ptr<std::FILE, FileCloser>;
-
-/// FILE plus a running CRC32C folded over every byte moved, so the v2
-/// trailer is computed/verified in the same single pass as the data.
-struct CrcFile {
-  std::FILE* f = nullptr;
-  uint32_t crc = 0;
-
-  Status Write(const void* data, size_t size) {
-    if (std::fwrite(data, 1, size, f) != size) {
-      return Status::IOError("short write");
-    }
-    crc = Crc32cExtend(crc, data, size);
-    return Status::OK();
-  }
-
-  Status Read(void* data, size_t size) {
-    if (std::fread(data, 1, size, f) != size) {
-      return Status::Corruption("short read");
-    }
-    crc = Crc32cExtend(crc, data, size);
-    return Status::OK();
-  }
-
-  template <typename T>
-  Status WriteScalar(T value) {
-    return Write(&value, sizeof(value));
-  }
-
-  template <typename T>
-  Status ReadScalar(T* value) {
-    return Read(value, sizeof(*value));
-  }
-
-  /// Appends the masked checksum trailer (not folded into itself).
-  Status WriteTrailer() {
-    const uint32_t masked = Crc32cMask(crc);
-    if (std::fwrite(&masked, sizeof(masked), 1, f) != 1) {
-      return Status::IOError("short write of crc trailer");
-    }
-    return Status::OK();
-  }
-
-  /// For v2 files: reads the trailer and checks it against the bytes
-  /// consumed so far. No-op for v1.
-  Status VerifyTrailer(uint32_t version) {
-    if (version < 2) return Status::OK();
-    const uint32_t expected = crc;
-    uint32_t masked = 0;
-    if (std::fread(&masked, sizeof(masked), 1, f) != 1) {
-      return Status::Corruption("missing crc trailer");
-    }
-    if (Crc32cUnmask(masked) != expected) {
-      return Status::Corruption(
-          "crc mismatch: sketch file bytes do not match their checksum");
-    }
-    return Status::OK();
-  }
-};
+/// For v2 files: checks the trailer against the bytes consumed so
+/// far. No-op for v1 (no trailer to check).
+Status VerifyVersionedTrailer(CrcFile* f, uint32_t version) {
+  if (version < 2) return Status::OK();
+  return f->VerifyTrailer("sketch file");
+}
 
 Status CheckHeader(CrcFile* f, uint32_t expected_magic, uint32_t* version,
                    uint32_t* k, uint32_t* m) {
@@ -134,7 +74,7 @@ Result<SignatureMatrix> ReadSignatureMatrix(const std::string& path) {
       signatures.SetValue(static_cast<int>(l), c, row[c]);
     }
   }
-  SANS_RETURN_IF_ERROR(f.VerifyTrailer(version));
+  SANS_RETURN_IF_ERROR(VerifyVersionedTrailer(&f, version));
   return signatures;
 }
 
@@ -184,7 +124,7 @@ Result<KMinHashSketch> ReadKMinHashSketch(const std::string& path) {
     SANS_RETURN_IF_ERROR(
         sketch.SetColumn(c, std::move(signature), cardinality));
   }
-  SANS_RETURN_IF_ERROR(f.VerifyTrailer(version));
+  SANS_RETURN_IF_ERROR(VerifyVersionedTrailer(&f, version));
   return sketch;
 }
 

@@ -1,0 +1,84 @@
+// Little-endian on-disk scalar encoding, checked in one place. Every
+// persistent format in this repo (table_file, sketch_io, candidate_io,
+// serve/similarity_index) declares its integers little-endian; the
+// writers and readers move scalars through the helpers below and move
+// bulk u64/u32 arrays with raw fwrite/fread, which is only correct on
+// a little-endian host. The static_asserts turn a port to a
+// big-endian or exotic-width platform into a compile error instead of
+// silently unreadable artifacts.
+
+#ifndef SANS_UTIL_ENDIAN_H_
+#define SANS_UTIL_ENDIAN_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace sans {
+
+inline constexpr bool kLittleEndianHost =
+    std::endian::native == std::endian::little;
+
+// Bulk array I/O (signature rows, sketch values, band keys) writes
+// host memory directly; a big-endian port must add byte-swapping
+// before this assert may be relaxed.
+static_assert(kLittleEndianHost,
+              "sans on-disk formats are little-endian and the bulk I/O "
+              "paths write host-order arrays; port the readers/writers "
+              "before building on a big-endian host");
+
+// On-disk scalar widths the formats depend on.
+static_assert(sizeof(uint32_t) == 4);
+static_assert(sizeof(uint64_t) == 8);
+static_assert(sizeof(double) == 8 && std::numeric_limits<double>::is_iec559,
+              "similarities are persisted as IEEE-754 binary64 bits");
+
+/// Encodes `value` into `out` in little-endian byte order. Written
+/// shift-wise so the encoding is the same on any host (the scalar
+/// paths stay portable even where the bulk paths are not).
+inline void EncodeLE32(uint32_t value, unsigned char out[4]) {
+  out[0] = static_cast<unsigned char>(value);
+  out[1] = static_cast<unsigned char>(value >> 8);
+  out[2] = static_cast<unsigned char>(value >> 16);
+  out[3] = static_cast<unsigned char>(value >> 24);
+}
+
+inline void EncodeLE64(uint64_t value, unsigned char out[8]) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+}
+
+inline uint32_t DecodeLE32(const unsigned char in[4]) {
+  return static_cast<uint32_t>(in[0]) | static_cast<uint32_t>(in[1]) << 8 |
+         static_cast<uint32_t>(in[2]) << 16 |
+         static_cast<uint32_t>(in[3]) << 24;
+}
+
+inline uint64_t DecodeLE64(const unsigned char in[8]) {
+  uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = value << 8 | in[i];
+  }
+  return value;
+}
+
+/// Doubles travel as their IEEE-754 bit pattern in a LE u64, so a
+/// reloaded artifact reproduces the written value bit for bit.
+inline void EncodeLEDouble(double value, unsigned char out[8]) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  EncodeLE64(bits, out);
+}
+
+inline double DecodeLEDouble(const unsigned char in[8]) {
+  const uint64_t bits = DecodeLE64(in);
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace sans
+
+#endif  // SANS_UTIL_ENDIAN_H_

@@ -89,6 +89,63 @@ grep -q 'reusing checkpointed verified pairs' mine_ckpt3.err
 grep -v '^#' mine_ckpt3.out > ckpt_pairs3.txt
 diff ckpt_pairs1.txt ckpt_pairs3.txt
 
+echo "== index / serve / query round trip =="
+"$SANS_BIN" index --in corpus.sans --out corpus.sidx --k 256 --r 4 \
+    --l 16 --seed 9 | tee index.out
+grep -q 'wrote corpus.sidx' index.out
+test -s corpus.sidx
+
+# Ephemeral port: the server prints the port it bound, the script
+# parses it back. Runs in the background; always reaped on exit.
+"$SANS_BIN" serve --index corpus.sidx --port 0 --threads 2 \
+    > serve.out 2> serve.err &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORK_DIR"' EXIT
+for _ in $(seq 50); do
+  grep -q 'listening on' serve.out && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' serve.out)"
+test -n "$PORT"
+
+"$SANS_BIN" query --port "$PORT" --ping | grep -q '^ok$'
+
+# Top-k answers must agree with brute-force truth: for each truth pair
+# above the threshold, querying the left column must return the right
+# column among its neighbors with a similar score.
+"$SANS_BIN" query --port "$PORT" --col 0 --k 5 > query0.out
+grep -q 'neighbors of column 0' query0.out
+while read -r a b sim; do
+  "$SANS_BIN" query --port "$PORT" --col "$a" --k 5 > "query_$a.out"
+  grep -q "^$b	" "query_$a.out" || {
+    echo "query --col $a missed truth partner $b (sim $sim)" >&2
+    exit 1
+  }
+done < <(tail -n +2 truth.out | head -5)
+
+# Pair similarity estimate for a truth pair must land near the exact
+# value (k=256 sketches; tolerance 0.15).
+read -r TA TB TSIM < <(tail -n +2 truth.out | head -1)
+EST="$("$SANS_BIN" query --port "$PORT" --a "$TA" --b "$TB" | cut -f3)"
+awk -v est="$EST" -v exact="$TSIM" \
+    'BEGIN { d = est - exact; if (d < 0) d = -d; exit !(d < 0.15) }'
+
+"$SANS_BIN" query --port "$PORT" --stats > qstats.out
+grep -q 'requests:' qstats.out
+grep -q 'errors: 0' qstats.out
+
+# Out-of-range queries come back as clean errors, not hangs/crashes.
+if "$SANS_BIN" query --port "$PORT" --col 999999 2> bad_query.err; then
+  echo "expected failure on out-of-range column" >&2
+  exit 1
+fi
+grep -q 'InvalidArgument' bad_query.err
+
+# Graceful shutdown on SIGTERM: the server prints its final summary.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q 'served .* requests' serve.out
+
 echo "== bad input is rejected =="
 if "$SANS_BIN" mine --in /nonexistent.sans --algorithm mh 2>/dev/null; then
   echo "expected failure on missing input" >&2

@@ -1,0 +1,299 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/endian.h"
+#include "util/random.h"
+
+namespace sans {
+namespace {
+
+/// Connected AF_UNIX stream pair; frames behave exactly as over TCP.
+class SocketPair {
+ public:
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a_ = fds[0];
+    b_ = fds[1];
+  }
+  ~SocketPair() {
+    CloseA();
+    CloseB();
+  }
+  int a() const { return a_; }
+  int b() const { return b_; }
+  void CloseA() {
+    if (a_ >= 0) close(a_);
+    a_ = -1;
+  }
+  void CloseB() {
+    if (b_ >= 0) close(b_);
+    b_ = -1;
+  }
+
+ private:
+  int a_ = -1;
+  int b_ = -1;
+};
+
+void SendRaw(int fd, const std::vector<unsigned char>& bytes) {
+  ASSERT_EQ(send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+}
+
+TEST(WireCodecTest, ScalarsRoundTrip) {
+  WireWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutDouble(0.8251);
+  w.PutBytes("hello");
+  WireReader r(w.payload());
+  EXPECT_EQ(r.GetU8().value(), 0xab);
+  EXPECT_EQ(r.GetU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), 0.8251);
+  EXPECT_EQ(r.GetBytes().value(), "hello");
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(WireCodecTest, UnderflowIsCorruptionNotCrash) {
+  WireWriter w;
+  w.PutU8(7);
+  WireReader r(w.payload());
+  EXPECT_TRUE(r.GetU8().ok());
+  EXPECT_EQ(r.GetU32().status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(r.GetU64().status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(r.GetBytes().status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireCodecTest, BytesLengthBeyondPayloadRejected) {
+  WireWriter w;
+  w.PutU32(1000);  // claims 1000 bytes, provides 2
+  w.PutU8(1);
+  w.PutU8(2);
+  WireReader r(w.payload());
+  EXPECT_EQ(r.GetBytes().status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireCodecTest, TrailingBytesRejected) {
+  WireWriter w;
+  w.PutU32(5);
+  w.PutU8(99);  // extra
+  WireReader r(w.payload());
+  EXPECT_TRUE(r.GetU32().ok());
+  EXPECT_EQ(r.ExpectEnd().code(), StatusCode::kCorruption);
+}
+
+TEST(FrameTest, RoundTripsOverSocket) {
+  SocketPair sp;
+  const std::vector<unsigned char> message = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(WriteFrame(sp.a(), message).ok());
+  std::vector<unsigned char> received;
+  auto event = ReadFrame(sp.b(), &received);
+  ASSERT_TRUE(event.ok());
+  EXPECT_EQ(*event, FrameEvent::kPayload);
+  EXPECT_EQ(received, message);
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrips) {
+  SocketPair sp;
+  ASSERT_TRUE(WriteFrame(sp.a(), {}).ok());
+  std::vector<unsigned char> received{9, 9};
+  auto event = ReadFrame(sp.b(), &received);
+  ASSERT_TRUE(event.ok());
+  EXPECT_EQ(*event, FrameEvent::kPayload);
+  EXPECT_TRUE(received.empty());
+}
+
+TEST(FrameTest, CleanCloseAtBoundaryIsClosed) {
+  SocketPair sp;
+  sp.CloseA();
+  std::vector<unsigned char> received;
+  auto event = ReadFrame(sp.b(), &received);
+  ASSERT_TRUE(event.ok());
+  EXPECT_EQ(*event, FrameEvent::kClosed);
+}
+
+TEST(FrameTest, OversizedLengthPrefixIsCorruption) {
+  SocketPair sp;
+  std::vector<unsigned char> header(4);
+  EncodeLE32(kMaxFramePayload + 1, header.data());
+  SendRaw(sp.a(), header);
+  std::vector<unsigned char> received;
+  auto event = ReadFrame(sp.b(), &received);
+  ASSERT_FALSE(event.ok());
+  EXPECT_EQ(event.status().code(), StatusCode::kCorruption);
+  // No allocation happened for the bogus size.
+  EXPECT_TRUE(received.empty());
+}
+
+TEST(FrameTest, ShortHeaderIsCorruption) {
+  SocketPair sp;
+  SendRaw(sp.a(), {0x10, 0x00});  // 2 of 4 header bytes
+  sp.CloseA();
+  std::vector<unsigned char> received;
+  auto event = ReadFrame(sp.b(), &received);
+  ASSERT_FALSE(event.ok());
+  EXPECT_EQ(event.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FrameTest, ShortPayloadIsCorruption) {
+  SocketPair sp;
+  std::vector<unsigned char> bytes(4);
+  EncodeLE32(100, bytes.data());  // claims 100 payload bytes
+  bytes.push_back(0x42);          // delivers 1
+  SendRaw(sp.a(), bytes);
+  sp.CloseA();
+  std::vector<unsigned char> received;
+  auto event = ReadFrame(sp.b(), &received);
+  ASSERT_FALSE(event.ok());
+  EXPECT_EQ(event.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FrameTest, OversizedWriteRejected) {
+  SocketPair sp;
+  const std::vector<unsigned char> huge(kMaxFramePayload + 1);
+  EXPECT_EQ(WriteFrame(sp.a(), huge).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, CancelFlagUnblocksReader) {
+  SocketPair sp;
+  // 20ms receive timeout so the cancel flag is polled quickly.
+  timeval tv{};
+  tv.tv_usec = 20'000;
+  setsockopt(sp.b(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::atomic<bool> cancel{false};
+  ReadFrameOptions options;
+  options.cancel = &cancel;
+  std::thread flipper([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    cancel.store(true);
+  });
+  std::vector<unsigned char> received;
+  auto event = ReadFrame(sp.b(), &received, options);
+  flipper.join();
+  ASSERT_TRUE(event.ok());
+  EXPECT_EQ(*event, FrameEvent::kTimeout);
+}
+
+TEST(RequestCodecTest, TopKRoundTrips) {
+  const std::vector<unsigned char> payload =
+      EncodeTopKRequest(/*col=*/42, /*k=*/7, /*min_similarity=*/0.25);
+  WireReader r(payload);
+  EXPECT_EQ(r.GetU8().value(), static_cast<uint8_t>(Opcode::kTopK));
+  auto request = DecodeTopKRequest(&r);
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->col, 42u);
+  EXPECT_EQ(request->k, 7u);
+  EXPECT_DOUBLE_EQ(request->min_similarity, 0.25);
+}
+
+TEST(ResponseCodecTest, TopKResponseRoundTrips) {
+  const std::vector<Neighbor> neighbors = {{3, 0.9}, {17, 0.5}, {2, 0.1}};
+  const std::vector<unsigned char> payload = EncodeTopKResponse(neighbors);
+  WireReader r(payload);
+  ASSERT_EQ(DecodeResponseCode(&r).value(), ResponseCode::kOk);
+  auto decoded = DecodeTopKResponse(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, neighbors);
+}
+
+TEST(ResponseCodecTest, TopKCountLieRejectedBeforeAllocation) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(ResponseCode::kOk));
+  w.PutU32(0xffffffffu);  // claims 4 billion entries, provides none
+  WireReader r(w.payload());
+  ASSERT_EQ(DecodeResponseCode(&r).value(), ResponseCode::kOk);
+  EXPECT_EQ(DecodeTopKResponse(&r).status().code(), StatusCode::kCorruption);
+}
+
+TEST(ResponseCodecTest, StatsResponseRoundTrips) {
+  ServerStatsSnapshot stats;
+  stats.requests = 1234;
+  stats.errors = 5;
+  stats.reloads = 2;
+  stats.epoch = 3;
+  stats.p50_seconds = 0.001;
+  stats.p95_seconds = 0.01;
+  stats.p99_seconds = 0.1;
+  const std::vector<unsigned char> payload = EncodeStatsResponse(stats);
+  WireReader r(payload);
+  ASSERT_EQ(DecodeResponseCode(&r).value(), ResponseCode::kOk);
+  auto decoded = DecodeStatsResponse(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, stats);
+}
+
+TEST(ResponseCodecTest, ErrorResponseReconstructsStatus) {
+  const Status original = Status::NotFound("column 99 does not exist");
+  const std::vector<unsigned char> payload = EncodeErrorResponse(original);
+  WireReader r(payload);
+  ASSERT_EQ(DecodeResponseCode(&r).value(), ResponseCode::kError);
+  const Status decoded = DecodeErrorResponse(&r);
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(ResponseCodecTest, EveryStatusCodeSurvivesTheWire) {
+  const Status statuses[] = {
+      Status::InvalidArgument("a"), Status::NotFound("b"),
+      Status::IOError("c"),         Status::OutOfRange("d"),
+      Status::Corruption("e"),      Status::Unimplemented("f"),
+      Status::Internal("g"),
+  };
+  for (const Status& original : statuses) {
+    const std::vector<unsigned char> payload = EncodeErrorResponse(original);
+    WireReader r(payload);
+    ASSERT_EQ(DecodeResponseCode(&r).value(), ResponseCode::kError);
+    EXPECT_EQ(DecodeErrorResponse(&r), original);
+  }
+}
+
+TEST(ProtocolFuzzTest, RandomPayloadsNeverCrashTheDecoders) {
+  // Deterministic fuzz over every decoder: random bytes must produce
+  // either a clean decode or a Status, never a crash or overread.
+  Xoshiro256 rng(0xf00d);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t size = rng.NextU64() % 64;
+    std::vector<unsigned char> payload(size);
+    for (auto& byte : payload) byte = static_cast<unsigned char>(rng.NextU64());
+
+    {
+      WireReader r(payload);
+      (void)DecodeTopKRequest(&r);
+    }
+    {
+      WireReader r(payload);
+      (void)DecodePairSimilarityRequest(&r);
+    }
+    {
+      WireReader r(payload);
+      (void)DecodeReloadRequest(&r);
+    }
+    {
+      WireReader r(payload);
+      auto code = DecodeResponseCode(&r);
+      if (code.ok() && *code == ResponseCode::kError) {
+        (void)DecodeErrorResponse(&r);
+      }
+    }
+    {
+      WireReader r(payload);
+      (void)DecodeTopKResponse(&r);
+    }
+    {
+      WireReader r(payload);
+      (void)DecodeStatsResponse(&r);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sans

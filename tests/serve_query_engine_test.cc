@@ -1,0 +1,221 @@
+#include "serve/query_engine.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "data/synthetic_generator.h"
+#include "lsh/filter_functions.h"
+#include "matrix/row_stream.h"
+#include "mine/brute_force.h"
+#include "serve/similarity_index.h"
+#include "util/thread_pool.h"
+
+namespace sans {
+namespace {
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sans_serve_engine_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Builds an index over `matrix` and loads it back.
+  std::shared_ptr<const SimilarityIndex> BuildIndex(
+      const BinaryMatrix& matrix, const SimilarityIndexConfig& config) {
+    const std::string path = Path("engine.sidx");
+    const Status built =
+        IndexBuilder(config).Build(InMemorySource(&matrix), path);
+    EXPECT_TRUE(built.ok()) << built.ToString();
+    auto index = SimilarityIndex::Load(path);
+    EXPECT_TRUE(index.ok()) << index.status().ToString();
+    return std::make_shared<const SimilarityIndex>(std::move(*index));
+  }
+
+  static int counter_;
+  std::filesystem::path dir_;
+};
+
+int QueryEngineTest::counter_ = 0;
+
+BinaryMatrix PlantedMatrix(uint64_t seed) {
+  SyntheticConfig config;
+  config.num_rows = 600;
+  config.num_cols = 200;
+  config.bands = {{4, 80.0, 95.0}, {4, 60.0, 80.0}};
+  config.spread_pairs = false;
+  config.seed = seed;
+  auto d = GenerateSynthetic(config);
+  EXPECT_TRUE(d.ok());
+  return std::move(d->matrix);
+}
+
+SimilarityIndexConfig EngineConfig() {
+  SimilarityIndexConfig config;
+  config.sketch_k = 128;
+  config.rows_per_band = 4;
+  config.num_bands = 16;
+  config.seed = 5;
+  return config;
+}
+
+TEST_F(QueryEngineTest, TopKRanksPlantedPartnerFirst) {
+  const BinaryMatrix matrix = PlantedMatrix(13);
+  const QueryEngine engine(BuildIndex(matrix, EngineConfig()));
+  // Planted pairs occupy consecutive slots from column 0: (0,1),
+  // (2,3), ... with similarity >= 0.6 while background pairs sit near
+  // 0.02, so each planted column's nearest neighbor is its partner.
+  for (ColumnId c = 0; c < 8; ++c) {
+    const ColumnId partner = (c % 2 == 0) ? c + 1 : c - 1;
+    auto neighbors = engine.TopK(c, 3);
+    ASSERT_TRUE(neighbors.ok()) << neighbors.status().ToString();
+    ASSERT_FALSE(neighbors->empty());
+    EXPECT_EQ(neighbors->front().col, partner)
+        << "column " << c << " did not rank its planted partner first";
+    EXPECT_GT(neighbors->front().similarity, 0.4);
+  }
+}
+
+TEST_F(QueryEngineTest, TopKIsSortedAndRespectsKAndThreshold) {
+  const BinaryMatrix matrix = PlantedMatrix(29);
+  const QueryEngine engine(BuildIndex(matrix, EngineConfig()));
+  auto neighbors = engine.TopK(0, 5, 0.01);
+  ASSERT_TRUE(neighbors.ok());
+  EXPECT_LE(neighbors->size(), 5u);
+  for (size_t i = 1; i < neighbors->size(); ++i) {
+    EXPECT_GE((*neighbors)[i - 1].similarity, (*neighbors)[i].similarity);
+  }
+  for (const Neighbor& n : *neighbors) {
+    EXPECT_GE(n.similarity, 0.01);
+    EXPECT_NE(n.col, 0u);
+  }
+}
+
+TEST_F(QueryEngineTest, RecallMatchesBandCollisionPrediction) {
+  // Acceptance criterion: querying every left column of a true similar
+  // pair recovers the right column at a rate no worse than the
+  // P_{r,l}(s) prediction at the pairs' minimum similarity (the
+  // fallback scan is disabled by querying with small k over a dataset
+  // with enough bucket traffic; any fallback only raises recall).
+  const BinaryMatrix matrix = PlantedMatrix(47);
+  const SimilarityIndexConfig config = EngineConfig();
+  const QueryEngine engine(BuildIndex(matrix, config));
+
+  auto truth = BruteForceSimilarPairs(matrix, 0.55);
+  ASSERT_TRUE(truth.ok());
+  ASSERT_GE(truth->size(), 4u);
+
+  double min_similarity = 1.0;
+  int recovered = 0;
+  for (const SimilarPair& pair : *truth) {
+    min_similarity = std::min(min_similarity, pair.similarity);
+    auto neighbors = engine.TopK(pair.pair.first, 5);
+    ASSERT_TRUE(neighbors.ok());
+    for (const Neighbor& n : *neighbors) {
+      if (n.col == pair.pair.second) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  const double recall =
+      static_cast<double>(recovered) / static_cast<double>(truth->size());
+  const double predicted = BandCollisionProbability(
+      min_similarity, config.rows_per_band, config.num_bands);
+  // The prediction is a lower bound per pair at its own (higher)
+  // similarity; allow a small slack for sketch-estimator noise at the
+  // rerank stage.
+  EXPECT_GE(recall, predicted - 0.05)
+      << "recall " << recall << " vs predicted " << predicted << " at s="
+      << min_similarity;
+}
+
+TEST_F(QueryEngineTest, FallbackScanFillsSmallDatasets) {
+  // 6 columns, k=5: buckets cannot supply 5 candidates, so the engine
+  // must widen to a scan and return every non-empty other column.
+  std::vector<std::vector<ColumnId>> rows(40);
+  for (RowId r = 0; r < 40; ++r) {
+    for (ColumnId c = 0; c < 6; ++c) {
+      if ((r * 7 + c * 3) % 4 == 0) rows[r].push_back(c);
+    }
+  }
+  auto built = BinaryMatrix::FromRows(40, 6, rows);
+  ASSERT_TRUE(built.ok());
+  SimilarityIndexConfig config = EngineConfig();
+  config.sketch_k = 64;
+  const QueryEngine engine(BuildIndex(*built, config));
+  TopKInfo info;
+  auto neighbors = engine.TopK(0, 5, 0.0, &info);
+  ASSERT_TRUE(neighbors.ok());
+  EXPECT_TRUE(info.fallback_scan);
+  EXPECT_EQ(neighbors->size(), 5u);
+}
+
+TEST_F(QueryEngineTest, ExactWhenSketchCoversUnion) {
+  // sketch_k >= |C_i ∪ C_j| for every pair makes the Theorem 2
+  // estimator exact, so PairSimilarity must equal the true Jaccard.
+  const BinaryMatrix matrix = PlantedMatrix(61);
+  SimilarityIndexConfig config = EngineConfig();
+  config.sketch_k = 2048;  // far above any union size at 600 rows
+  const QueryEngine engine(BuildIndex(matrix, config));
+  for (ColumnId a = 0; a < 10; ++a) {
+    for (ColumnId b = a + 1; b < 10; ++b) {
+      auto estimate = engine.PairSimilarity(a, b);
+      ASSERT_TRUE(estimate.ok());
+      BinaryMatrix copy = matrix;
+      copy.EnsureColumnMajor();
+      EXPECT_NEAR(*estimate, copy.Similarity(a, b), 1e-12);
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, PairSimilarityHandlesEdgeCases) {
+  const BinaryMatrix matrix = PlantedMatrix(71);
+  const QueryEngine engine(BuildIndex(matrix, EngineConfig()));
+  auto self = engine.PairSimilarity(3, 3);
+  ASSERT_TRUE(self.ok());
+  EXPECT_DOUBLE_EQ(*self, 1.0);
+
+  auto out_of_range = engine.PairSimilarity(0, matrix.num_cols());
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kInvalidArgument);
+
+  auto bad_query = engine.TopK(matrix.num_cols(), 3);
+  ASSERT_FALSE(bad_query.ok());
+  auto bad_k = engine.TopK(0, 0);
+  ASSERT_FALSE(bad_k.ok());
+}
+
+TEST_F(QueryEngineTest, BatchMatchesSequentialOnAnyPool) {
+  const BinaryMatrix matrix = PlantedMatrix(83);
+  const QueryEngine engine(BuildIndex(matrix, EngineConfig()));
+  std::vector<ColumnId> cols;
+  for (ColumnId c = 0; c < matrix.num_cols(); c += 7) cols.push_back(c);
+
+  auto sequential = engine.BatchTopK(cols, 4, 0.0, nullptr);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_EQ(sequential->size(), cols.size());
+
+  ThreadPool pool(4);
+  auto parallel = engine.BatchTopK(cols, 4, 0.0, &pool);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(parallel->size(), cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    EXPECT_EQ((*sequential)[i], (*parallel)[i]) << "query " << cols[i];
+  }
+}
+
+}  // namespace
+}  // namespace sans

@@ -11,6 +11,10 @@
 //   sketch     persist a bottom-k sketch of a table
 //   pairs      mine similar pairs from a persisted sketch (no table
 //              rescan; estimates only, no exact verification)
+//   index      build a persistent similarity index (sketches + LSH
+//              band buckets) for online serving
+//   serve      answer similarity queries over an index via TCP
+//   query      ask a running server (top-k / pair / stats / reload)
 //
 // Examples:
 //   sans generate --kind weblog --out log.sans --seed 7
@@ -18,6 +22,9 @@
 //   sans rules --in corpus.sans --threshold 0.95 --k 200
 //   sans truth --in log.sans --threshold 0.7
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +51,9 @@
 #include "mine/miner.h"
 #include "mine/mlsh_miner.h"
 #include "mine/pipeline_runner.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/similarity_index.h"
 #include "sketch/estimators.h"
 #include "sketch/sketch_io.h"
 #include "util/status.h"
@@ -149,7 +159,14 @@ int Usage() {
       "  pairs     --sketch FILE [--threshold S]\n"
       "  clusters  --in FILE [--threshold S] [--min-size N]\n"
       "            [--min-cohesion F]\n"
-      "  disjunctions --in FILE [--threshold S] [--k K]\n");
+      "  disjunctions --in FILE [--threshold S] [--k K]\n"
+      "  index     --in FILE --out FILE [--k K] [--r R] [--l L]\n"
+      "            [--seed S]\n"
+      "  serve     --index FILE [--host H] [--port P (0 = ephemeral)]\n"
+      "            [--threads N] [--allow-reload]\n"
+      "  query     --port P [--host H] plus one of:\n"
+      "            --col C [--k K] [--min-similarity S] | --a A --b B |\n"
+      "            --stats | --ping | --reload FILE\n");
   return 2;
 }
 
@@ -589,6 +606,142 @@ int RunPairsFromSketch(const Args& args) {
   return 0;
 }
 
+int RunIndex(const Args& args) {
+  SimilarityIndexConfig config;
+  config.sketch_k = static_cast<int>(args.GetInt("k", config.sketch_k));
+  config.rows_per_band =
+      static_cast<int>(args.GetInt("r", config.rows_per_band));
+  config.num_bands = static_cast<int>(args.GetInt("l", config.num_bands));
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 0));
+  const IndexBuilder builder(config);
+  const std::string in = args.Require("in");
+  const std::string out = args.Require("out");
+
+  Status built = Status::OK();
+  ColumnId num_cols = 0;
+  RowId num_rows = 0;
+  if (in.size() >= 5 && in.substr(in.size() - 5) == ".sans") {
+    // Stream straight off the table file; no full matrix in memory.
+    auto source = TableFileSource::Create(in);
+    if (!source.ok()) return Fail(source.status());
+    num_cols = source->num_cols();
+    num_rows = source->num_rows();
+    built = builder.Build(*source, out);
+  } else {
+    auto matrix = LoadInput(in);
+    if (!matrix.ok()) return Fail(matrix.status());
+    num_cols = matrix->num_cols();
+    num_rows = matrix->num_rows();
+    built = builder.Build(InMemorySource(&matrix.value()), out);
+  }
+  if (!built.ok()) return Fail(built);
+  std::printf("wrote %s: %u columns, %u rows, %d bands x %d rows, "
+              "sketch k=%d\n",
+              out.c_str(), num_cols, num_rows, config.num_bands,
+              config.rows_per_band, config.sketch_k);
+  return 0;
+}
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleShutdownSignal(int) { g_shutdown.store(true); }
+
+int RunServe(const Args& args) {
+  auto index = SimilarityIndex::Load(args.Require("index"));
+  if (!index.ok()) return Fail(index.status());
+
+  ServerConfig config;
+  config.host = args.GetString("host", config.host);
+  config.port = static_cast<uint16_t>(args.GetInt("port", 0));
+  config.num_threads = static_cast<int>(args.GetInt("threads", 4));
+  config.allow_reload = args.GetBool("allow-reload", false);
+  auto server = Server::Start(
+      std::make_shared<const SimilarityIndex>(std::move(*index)), config);
+  if (!server.ok()) return Fail(server.status());
+
+  // The smoke test and scripts parse this line for the ephemeral port.
+  std::printf("listening on %s:%u\n", config.host.c_str(),
+              (*server)->port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  (*server)->Stop();
+  const ServerStatsSnapshot stats = (*server)->Stats();
+  std::printf("served %llu requests (%llu errors), p50=%.3fms "
+              "p95=%.3fms p99=%.3fms\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.errors),
+              stats.p50_seconds * 1e3, stats.p95_seconds * 1e3,
+              stats.p99_seconds * 1e3);
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  ClientConfig config;
+  config.host = args.GetString("host", config.host);
+  config.port = static_cast<uint16_t>(args.GetInt("port", 0));
+  if (config.port == 0) {
+    std::fprintf(stderr, "query needs --port\n");
+    return 2;
+  }
+  auto client = Client::Connect(config);
+  if (!client.ok()) return Fail(client.status());
+
+  if (args.Has("ping")) {
+    if (const Status s = (*client)->Ping(); !s.ok()) return Fail(s);
+    std::printf("ok\n");
+    return 0;
+  }
+  if (args.Has("stats")) {
+    auto stats = (*client)->Stats();
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("requests: %llu\nerrors: %llu\nreloads: %llu\n"
+                "epoch: %llu\np50_ms: %.3f\np95_ms: %.3f\np99_ms: %.3f\n",
+                static_cast<unsigned long long>(stats->requests),
+                static_cast<unsigned long long>(stats->errors),
+                static_cast<unsigned long long>(stats->reloads),
+                static_cast<unsigned long long>(stats->epoch),
+                stats->p50_seconds * 1e3, stats->p95_seconds * 1e3,
+                stats->p99_seconds * 1e3);
+    return 0;
+  }
+  if (args.Has("reload")) {
+    auto epoch = (*client)->Reload(args.Require("reload"));
+    if (!epoch.ok()) return Fail(epoch.status());
+    std::printf("reloaded, epoch %llu\n",
+                static_cast<unsigned long long>(*epoch));
+    return 0;
+  }
+  if (args.Has("a") || args.Has("b")) {
+    const auto a = static_cast<ColumnId>(args.GetInt("a", 0));
+    const auto b = static_cast<ColumnId>(args.GetInt("b", 0));
+    auto similarity = (*client)->PairSimilarity(a, b);
+    if (!similarity.ok()) return Fail(similarity.status());
+    std::printf("%u\t%u\t%.6f\n", a, b, *similarity);
+    return 0;
+  }
+  if (args.Has("col")) {
+    const auto col = static_cast<ColumnId>(args.GetInt("col", 0));
+    const auto k = static_cast<uint32_t>(args.GetInt("k", 10));
+    auto neighbors =
+        (*client)->TopK(col, k, args.GetDouble("min-similarity", 0.0));
+    if (!neighbors.ok()) return Fail(neighbors.status());
+    std::printf("# %zu neighbors of column %u\n", neighbors->size(), col);
+    for (const Neighbor& n : *neighbors) {
+      std::printf("%u\t%.6f\n", n.col, n.similarity);
+    }
+    return 0;
+  }
+  std::fprintf(stderr,
+               "query needs one of --col, --a/--b, --stats, --ping, "
+               "--reload\n");
+  return 2;
+}
+
 int RunConvert(const Args& args) {
   auto matrix = LoadInput(args.Require("in"));
   if (!matrix.ok()) return Fail(matrix.status());
@@ -614,6 +767,9 @@ int Main(int argc, char** argv) {
   if (command == "pairs") return RunPairsFromSketch(args);
   if (command == "clusters") return RunClusters(args);
   if (command == "disjunctions") return RunDisjunctions(args);
+  if (command == "index") return RunIndex(args);
+  if (command == "serve") return RunServe(args);
+  if (command == "query") return RunQuery(args);
   return Usage();
 }
 
