@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "matrix/or_fold.h"
+#include "obs/metrics.h"
 #include "util/hashing.h"
 #include "util/random.h"
 
@@ -96,6 +97,9 @@ CandidateSet HammingLshCandidateGenerator::GenerateWithStats(
     }
     if (stats != nullptr) stats->push_back(level_stats);
   }
+  MetricsRegistry::Global()
+      .GetCounter("sans_candgen_candidates_total")
+      ->Increment(candidates.size());
   return candidates;
 }
 

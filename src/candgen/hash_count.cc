@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/hashing.h"
 #include "util/status.h"
 
@@ -72,6 +73,16 @@ bool InShard(uint64_t value, int shard, int num_shards) {
                           static_cast<uint64_t>(num_shards)) == shard;
 }
 
+// All Hash-Count variants (sequential and sharded) report their final
+// candidate set size into the same counter the Min-LSH and Hamming-LSH
+// generators use; the parallel entry points fall back to the
+// sequential functions below one thread, so each call counts once.
+void CountCandidates(const CandidateSet& candidates) {
+  static Counter* const counter =
+      MetricsRegistry::Global().GetCounter("sans_candgen_candidates_total");
+  counter->Increment(candidates.size());
+}
+
 // Sharded driver: runs CountBucketCollisions once per shard on the
 // pool (raw counts, no threshold), merges the shards' candidate sets
 // by summation, then applies `keep` to the exact totals.
@@ -105,6 +116,7 @@ Result<CandidateSet> ShardedBucketCount(ColumnId num_cols, int num_tables,
       candidates.Add(pair, count);
     }
   }
+  CountCandidates(candidates);
   return candidates;
 }
 
@@ -149,6 +161,7 @@ CandidateSet HashCountKMinHash(const KMinHashSketch& sketch,
           candidates.Add(ColumnPair(j, i), count);
         }
       });
+  CountCandidates(candidates);
   return candidates;
 }
 
@@ -167,6 +180,7 @@ CandidateSet HashCountKMinHashAdaptive(const KMinHashSketch& sketch,
           candidates.Add(ColumnPair(j, i), count);
         }
       });
+  CountCandidates(candidates);
   return candidates;
 }
 
@@ -186,6 +200,7 @@ CandidateSet HashCountMinHash(const SignatureMatrix& signatures,
           candidates.Add(ColumnPair(j, i), count);
         }
       });
+  CountCandidates(candidates);
   return candidates;
 }
 

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "util/hashing.h"
 #include "util/random.h"
 
@@ -64,6 +65,7 @@ void MinLshCandidateGenerator::CollectBandCandidates(
     }
     buckets[key].push_back(c);
   }
+  uint64_t emitted = 0;
   for (const auto& [key, cols] : buckets) {
     // All pairs within a bucket are candidates (paper: "all columns
     // that hash into the same bucket are pairwise declared
@@ -71,9 +73,22 @@ void MinLshCandidateGenerator::CollectBandCandidates(
     for (size_t a = 0; a < cols.size(); ++a) {
       for (size_t b = a + 1; b < cols.size(); ++b) {
         out->Add(ColumnPair(cols[a], cols[b]));
+        ++emitted;
       }
     }
   }
+  // Shared by the sequential loop and the per-band ParallelFor; the
+  // counters are atomic, so concurrent bands add up correctly.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter* const bands_counter =
+      registry.GetCounter("sans_candgen_bands_total");
+  static Counter* const buckets_counter =
+      registry.GetCounter("sans_candgen_buckets_total");
+  static Counter* const bucket_pairs_counter =
+      registry.GetCounter("sans_candgen_bucket_pairs_total");
+  bands_counter->Increment();
+  buckets_counter->Increment(buckets.size());
+  bucket_pairs_counter->Increment(emitted);
 }
 
 Result<CandidateSet> MinLshCandidateGenerator::Generate(
@@ -108,6 +123,9 @@ Result<CandidateSet> MinLshCandidateGenerator::Generate(
     for (const CandidateSet& band : per_band) {
       candidates.Merge(band);
     }
+    MetricsRegistry::Global()
+        .GetCounter("sans_candgen_candidates_total")
+        ->Increment(candidates.size());
     return candidates;
   }
 
@@ -115,6 +133,9 @@ Result<CandidateSet> MinLshCandidateGenerator::Generate(
   for (int band = 0; band < config_.num_bands; ++band) {
     CollectBandCandidates(signatures, band, &candidates);
   }
+  MetricsRegistry::Global()
+      .GetCounter("sans_candgen_candidates_total")
+      ->Increment(candidates.size());
   return candidates;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace sans {
@@ -72,6 +73,9 @@ CandidateSet RowSorter::Candidates(int min_agreements) const {
       counter[j] = 0;
     }
   }
+  static Counter* const candidates_counter =
+      MetricsRegistry::Global().GetCounter("sans_candgen_candidates_total");
+  candidates_counter->Increment(candidates.size());
   return candidates;
 }
 

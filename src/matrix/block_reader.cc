@@ -8,6 +8,9 @@ namespace sans {
 
 bool BlockQueue::Push(RowBlock&& block) {
   std::unique_lock<std::mutex> lock(mu_);
+  if (stalls_ != nullptr && !aborted_ && blocks_.size() >= capacity_) {
+    stalls_->Increment();  // producer is about to wait: backpressure
+  }
   not_full_.wait(lock,
                  [this] { return aborted_ || blocks_.size() < capacity_; });
   if (aborted_) {
@@ -15,6 +18,7 @@ bool BlockQueue::Push(RowBlock&& block) {
   }
   SANS_CHECK(!closed_);
   blocks_.push_back(std::move(block));
+  if (depth_ != nullptr) depth_->Set(static_cast<int64_t>(blocks_.size()));
   lock.unlock();
   not_empty_.notify_one();
   return true;
@@ -29,6 +33,7 @@ bool BlockQueue::Pop(RowBlock* out) {
   }
   *out = std::move(blocks_.front());
   blocks_.pop_front();
+  if (depth_ != nullptr) depth_->Set(static_cast<int64_t>(blocks_.size()));
   lock.unlock();
   not_full_.notify_one();
   return true;
@@ -60,18 +65,40 @@ Status ForEachRowBlock(
   SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream, source.Open());
   const size_t block_rows = static_cast<size_t>(config.block_rows);
 
+  // Handles resolved once per process; hot-path updates are relaxed
+  // atomic adds. Generators that bypass the block pipeline (the
+  // sequential fallbacks in mine/parallel) count rows themselves into
+  // the same counter, so every execution path counts exactly once.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter* const rows_scanned =
+      registry.GetCounter("sans_scan_rows_total");
+  static Counter* const blocks_produced =
+      registry.GetCounter("sans_pipeline_blocks_produced_total");
+  static Counter* const blocks_consumed =
+      registry.GetCounter("sans_pipeline_blocks_consumed_total");
+  static Gauge* const queue_depth =
+      registry.GetGauge("sans_pipeline_queue_depth");
+  static Counter* const stalls =
+      registry.GetCounter("sans_pipeline_backpressure_stalls_total");
+
   if (pool == nullptr || config.num_threads <= 1) {
     RowBlock block;
     RowView view;
     while (stream->Next(&view)) {
       block.Append(view.row, view.columns);
       if (block.size() >= block_rows) {
+        rows_scanned->Increment(block.size());
+        blocks_produced->Increment();
+        blocks_consumed->Increment();
         SANS_RETURN_IF_ERROR(consume(0, block));
         block.Clear();
       }
     }
     SANS_RETURN_IF_ERROR(stream->stream_status());
     if (!block.empty()) {
+      rows_scanned->Increment(block.size());
+      blocks_produced->Increment();
+      blocks_consumed->Increment();
       SANS_RETURN_IF_ERROR(consume(0, block));
     }
     return Status::OK();
@@ -79,6 +106,7 @@ Status ForEachRowBlock(
 
   const int workers = config.num_threads;
   BlockQueue queue(static_cast<size_t>(config.queue_depth));
+  queue.SetInstruments(queue_depth, stalls);
   std::vector<Status> worker_status(workers);
   std::atomic<bool> worker_failed{false};
   std::mutex done_mu;
@@ -90,6 +118,7 @@ Status ForEachRowBlock(
                   &done_mu, &done_cv, &pending] {
       RowBlock block;
       while (queue.Pop(&block)) {
+        blocks_consumed->Increment();
         const Status status = consume(w, block);
         if (!status.ok()) {
           worker_status[w] = status;
@@ -118,15 +147,22 @@ Status ForEachRowBlock(
       if (!stream->Next(&view)) {
         reader_status = stream->stream_status();
         if (reader_status.ok() && !block.empty()) {
-          queue.Push(std::move(block));
+          const size_t rows = block.size();
+          if (queue.Push(std::move(block))) {
+            rows_scanned->Increment(rows);
+            blocks_produced->Increment();
+          }
         }
         break;
       }
       block.Append(view.row, view.columns);
       if (block.size() >= block_rows) {
+        const size_t rows = block.size();
         if (!queue.Push(std::move(block))) {
           break;  // aborted by a failing worker
         }
+        rows_scanned->Increment(rows);
+        blocks_produced->Increment();
         block = RowBlock();
       }
     }

@@ -27,6 +27,7 @@
 
 #include "core/types.h"
 #include "matrix/row_stream.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -79,8 +80,18 @@ class BlockQueue {
   void Close();
   void Abort();
 
+  // Optional instrumentation (either may be null): `depth` follows the
+  // queued block count, `stalls` counts producer waits on a full queue
+  // (backpressure events).
+  void SetInstruments(Gauge* depth, Counter* stalls) {
+    depth_ = depth;
+    stalls_ = stalls;
+  }
+
  private:
   const size_t capacity_;
+  Gauge* depth_ = nullptr;
+  Counter* stalls_ = nullptr;
   std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;

@@ -6,6 +6,7 @@
 
 #include "matrix/block_reader.h"
 #include "mine/miner.h"
+#include "obs/metrics.h"
 #include "util/bounded_heap.h"
 
 namespace sans {
@@ -167,6 +168,12 @@ Result<std::vector<VerifiedPair>> CountCandidatePairsParallel(
         static_cast<uint32_t>(i));
   }
 
+  // The sequential fallback above counts inside CountCandidatePairs;
+  // this parallel path counts here, so each call counts once.
+  static Counter* const verified_counter =
+      MetricsRegistry::Global().GetCounter("sans_verify_candidates_total");
+  verified_counter->Increment(candidates.size());
+
   const int workers = execution.num_threads;
   struct Partial {
     std::vector<uint64_t> unions;
@@ -220,6 +227,10 @@ Result<std::vector<SimilarPair>> VerifyCandidatesParallel(
   SANS_ASSIGN_OR_RETURN(
       std::vector<VerifiedPair> verified,
       CountCandidatePairsParallel(source, candidates, execution, pool));
+  static Counter* const true_positives =
+      MetricsRegistry::Global().GetCounter("sans_verify_true_positives_total");
+  static Counter* const false_positives =
+      MetricsRegistry::Global().GetCounter("sans_verify_false_positives_total");
   std::vector<SimilarPair> pairs;
   for (const VerifiedPair& v : verified) {
     const double s = v.similarity();
@@ -227,6 +238,8 @@ Result<std::vector<SimilarPair>> VerifyCandidatesParallel(
       pairs.push_back(SimilarPair{v.pair, s});
     }
   }
+  true_positives->Increment(pairs.size());
+  false_positives->Increment(verified.size() - pairs.size());
   SortPairs(&pairs);
   return pairs;
 }

@@ -16,6 +16,8 @@
 #include "matrix/table_file.h"
 #include "mine/parallel.h"
 #include "mine/verifier.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sketch/estimators.h"
 #include "sketch/sketch_io.h"
 #include "util/crc32c.h"
@@ -296,6 +298,13 @@ Result<PipelineRunSummary> PipelineRunner::Run(
   // One pool shared by all stages (null => sequential reference path).
   const std::unique_ptr<ThreadPool> pool = MaybeCreatePool(config_.execution);
 
+  // Observability: counter deltas over this run against the global
+  // registry, and a span tree rooted at "run". The root span stays
+  // open across the stage scopes, so stage spans link to it by id.
+  const MetricsSnapshot metrics_before = MetricsRegistry::Global().Snapshot();
+  Trace trace;
+  const int root_span = trace.StartSpan("run", -1);
+
   Manifest out;
   out.fingerprint = HexU64(Fnv1a64(FingerprintString(source)));
 
@@ -384,6 +393,7 @@ Result<PipelineRunSummary> PipelineRunner::Run(
     reuse_chain = false;
     {
       ScopedPhase phase(&summary.report.timers, kPhaseSignatures);
+      TraceSpan span(&trace, kPhaseSignatures, root_span);
       switch (config_.algorithm) {
         case PipelineAlgorithm::kMh: {
           SANS_ASSIGN_OR_RETURN(
@@ -420,6 +430,7 @@ Result<PipelineRunSummary> PipelineRunner::Run(
         }
       }
     }
+    TraceSpan span(&trace, "checkpoint-signatures", root_span);
     if (signatures.has_value()) {
       SANS_RETURN_IF_ERROR(WriteSignatureMatrix(*signatures, signatures_path));
     } else if (sketch.has_value()) {
@@ -452,6 +463,7 @@ Result<PipelineRunSummary> PipelineRunner::Run(
     reuse_chain = false;
     {
       ScopedPhase phase(&summary.report.timers, kPhaseCandidates);
+      TraceSpan span(&trace, kPhaseCandidates, root_span);
       switch (config_.algorithm) {
         case PipelineAlgorithm::kMh: {
           const int k = config_.mh.min_hash.num_hashes;
@@ -507,6 +519,7 @@ Result<PipelineRunSummary> PipelineRunner::Run(
         }
       }
     }
+    TraceSpan span(&trace, "checkpoint-candidates", root_span);
     SANS_RETURN_IF_ERROR(WriteCandidateSet(candidates, candidates_path));
     SANS_RETURN_IF_ERROR(commit_stage(kStageCandidates, kCandidatesFile));
     summary.log.push_back("[pipeline] candidates computed and checkpointed");
@@ -533,6 +546,7 @@ Result<PipelineRunSummary> PipelineRunner::Run(
   if (!summary.reused_pairs) {
     {
       ScopedPhase phase(&summary.report.timers, kPhaseVerify);
+      TraceSpan span(&trace, kPhaseVerify, root_span);
       SANS_ASSIGN_OR_RETURN(
           summary.report.pairs,
           VerifyCandidatesParallel(resilient, summary.report.candidates,
@@ -553,6 +567,39 @@ Result<PipelineRunSummary> PipelineRunner::Run(
         "[pipeline] degraded mode dropped " +
         std::to_string(summary.rows_skipped) +
         " rows; similarities near the threshold may be perturbed");
+  }
+
+  trace.EndSpan(root_span);
+  const MetricsSnapshot metrics_after = MetricsRegistry::Global().Snapshot();
+  RunReport& report = summary.run_report;
+  report.algorithm = PipelineAlgorithmName(config_.algorithm);
+  report.threshold = config_.threshold;
+  report.table_rows = source.num_rows();
+  report.table_cols = source.num_cols();
+  report.threads = config_.execution.num_threads;
+  // PhaseTimer keys sort in pipeline order by construction
+  // ("1-signatures" < "2-candidates" < "3-verify"); reused stages have
+  // no timer entry and are absent, which the report reads as "paid
+  // nothing".
+  for (const auto& [phase, seconds] : summary.report.timers.totals()) {
+    report.phases.push_back(RunReport::Phase{phase, seconds});
+  }
+  report.metric_deltas = CounterDeltas(metrics_before, metrics_after);
+  const auto delta = [&report](const char* name) -> uint64_t {
+    const auto it = report.metric_deltas.find(name);
+    return it == report.metric_deltas.end() ? 0 : it->second;
+  };
+  report.rows_scanned = delta("sans_scan_rows_total");
+  report.candidates_generated = delta("sans_candgen_candidates_total");
+  report.candidates_verified = delta("sans_verify_candidates_total");
+  report.true_positives = delta("sans_verify_true_positives_total");
+  report.false_positives = delta("sans_verify_false_positives_total");
+  report.pairs_emitted = summary.report.pairs.size();
+  report.trace_json = trace.ToJson();
+  if (!config_.run_report_path.empty()) {
+    SANS_RETURN_IF_ERROR(WriteRunReport(report, config_.run_report_path));
+    summary.log.push_back("[pipeline] run report written to " +
+                          config_.run_report_path);
   }
   return summary;
 }

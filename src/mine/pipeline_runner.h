@@ -26,6 +26,7 @@
 
 #include "matrix/resilient_row_stream.h"
 #include "matrix/row_stream.h"
+#include "obs/run_report.h"
 #include "mine/hlsh_miner.h"
 #include "mine/kmh_miner.h"
 #include "mine/mh_miner.h"
@@ -70,6 +71,11 @@ struct PipelineConfig {
   /// thread count may resume at another.
   ExecutionConfig execution;
 
+  /// When non-empty, the structured JSON run report is written here at
+  /// the end of a successful run. Observability only — excluded from
+  /// the checkpoint fingerprint.
+  std::string run_report_path;
+
   Status Validate() const;
 };
 
@@ -93,6 +99,11 @@ struct PipelineRunSummary {
   /// Human-readable event log ("[pipeline] reusing checkpointed
   /// signatures", ...) for the CLI to surface.
   std::vector<std::string> log;
+
+  /// Structured observability report for the run: phase wall times,
+  /// scan/candidate/verify counter deltas, and the span trace. Always
+  /// populated; also written to config.run_report_path when set.
+  RunReport run_report;
 };
 
 /// Drives one checkpointed mining run. Stateless apart from the

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mine/miner.h"
+#include "obs/metrics.h"
 
 namespace sans {
 
@@ -31,12 +32,22 @@ Result<std::vector<VerifiedPair>> CountCandidatePairs(
         static_cast<uint32_t>(i));
   }
 
+  // This sequential scan bypasses the block pipeline (the parallel
+  // verifier counts rows through ForEachRowBlock instead).
+  static Counter* const rows_scanned =
+      MetricsRegistry::Global().GetCounter("sans_scan_rows_total");
+  static Counter* const verified_counter =
+      MetricsRegistry::Global().GetCounter("sans_verify_candidates_total");
+  verified_counter->Increment(candidates.size());
+
   // Per-row scratch: how many of a candidate's two columns appear in
   // the current row (1 => union only, 2 => union + intersection).
   std::vector<uint8_t> present(candidates.size(), 0);
   std::vector<uint32_t> touched;
+  uint64_t rows_seen = 0;
   RowView view;
   while (rows->Next(&view)) {
+    ++rows_seen;
     touched.clear();
     for (ColumnId c : view.columns) {
       for (uint32_t idx : column_to_candidates[c]) {
@@ -50,6 +61,7 @@ Result<std::vector<VerifiedPair>> CountCandidatePairs(
       present[idx] = 0;
     }
   }
+  rows_scanned->Increment(rows_seen);
   // Counts from a truncated verification scan would understate unions
   // and intersections — surface the stream error instead.
   SANS_RETURN_IF_ERROR(rows->stream_status());
@@ -62,6 +74,10 @@ Result<std::vector<SimilarPair>> VerifyCandidates(
   SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> stream, source.Open());
   SANS_ASSIGN_OR_RETURN(std::vector<VerifiedPair> verified,
                         CountCandidatePairs(stream.get(), candidates));
+  static Counter* const true_positives =
+      MetricsRegistry::Global().GetCounter("sans_verify_true_positives_total");
+  static Counter* const false_positives =
+      MetricsRegistry::Global().GetCounter("sans_verify_false_positives_total");
   std::vector<SimilarPair> pairs;
   for (const VerifiedPair& v : verified) {
     const double s = v.similarity();
@@ -69,6 +85,8 @@ Result<std::vector<SimilarPair>> VerifyCandidates(
       pairs.push_back(SimilarPair{v.pair, s});
     }
   }
+  true_positives->Increment(pairs.size());
+  false_positives->Increment(verified.size() - pairs.size());
   SortPairs(&pairs);
   return pairs;
 }

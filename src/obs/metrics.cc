@@ -1,0 +1,318 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace sans {
+
+namespace {
+
+/// Bucket index for a duration of `us` microseconds: floor(log2(us)),
+/// clamped to the fixed range.
+int BucketIndex(uint64_t us) {
+  if (us < 2) return 0;
+  const int index = std::bit_width(us) - 1;
+  return index < LatencyHistogram::kNumBuckets
+             ? index
+             : LatencyHistogram::kNumBuckets - 1;
+}
+
+/// Inclusive bucket bounds in microseconds.
+double BucketLowerUs(int index) {
+  return index == 0 ? 0.0 : static_cast<double>(uint64_t{1} << index);
+}
+
+double BucketUpperUs(int index) {
+  return static_cast<double>(uint64_t{1} << (index + 1));
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double seconds) {
+  const double us = seconds * 1e6;
+  const uint64_t rounded =
+      us <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(us));
+  buckets_[BucketIndex(rounded)].fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(rounded, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n > 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  const uint64_t sum = other.sum_us_.load(std::memory_order_relaxed);
+  if (sum > 0) sum_us_.fetch_add(sum, std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double LatencyHistogram::SumSeconds() const {
+  return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) / 1e6;
+}
+
+uint64_t LatencyHistogram::BucketCount(int index) const {
+  return buckets_[index].load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::BucketUpperSeconds(int index) {
+  if (index >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return BucketUpperUs(index) / 1e6;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based; rank r lies in the first
+  // bucket whose cumulative count reaches r. q = 1.0 yields rank ==
+  // total, which the loop always finds, so the fallthrough below is
+  // defensive only.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * total)));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (cumulative + counts[i] >= rank) {
+      // Interpolate the rank's position inside the bucket.
+      const double within =
+          (static_cast<double>(rank - cumulative) - 0.5) / counts[i];
+      const double us = BucketLowerUs(i) +
+                        within * (BucketUpperUs(i) - BucketLowerUs(i));
+      return us / 1e6;
+    }
+    cumulative += counts[i];
+  }
+  return BucketUpperUs(kNumBuckets - 1) / 1e6;
+}
+
+std::string LatencyHistogram::ToString() const {
+  const uint64_t total = TotalCount();
+  std::ostringstream out;
+  out << "n=" << total;
+  if (total == 0) return out.str();
+  const auto format_ms = [&out](const char* label, double seconds) {
+    out << ' ' << label << '=';
+    out.precision(3);
+    out << seconds * 1e3 << "ms";
+  };
+  format_ms("p50", P50());
+  format_ms("p95", P95());
+  format_ms("p99", P99());
+  return out.str();
+}
+
+void LatencyHistogram::Clear() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  sum_us_.store(0, std::memory_order_relaxed);
+}
+
+std::map<std::string, uint64_t> CounterDeltas(const MetricsSnapshot& before,
+                                              const MetricsSnapshot& after) {
+  std::map<std::string, uint64_t> deltas;
+  for (const auto& [name, value] : after.counters) {
+    const auto it = before.counters.find(name);
+    const uint64_t base = it == before.counters.end() ? 0 : it->second;
+    if (value > base) deltas[name] = value - base;
+  }
+  return deltas;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+namespace {
+
+/// Splits a registered name into its family part and an optional
+/// `key="value",...` label body (braces stripped).
+void SplitName(const std::string& name, std::string* family,
+               std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *family = name;
+    labels->clear();
+    return;
+  }
+  *family = name.substr(0, brace);
+  *labels = name.substr(brace + 1);
+  if (!labels->empty() && labels->back() == '}') labels->pop_back();
+}
+
+/// Prometheus metric-name charset; anything else becomes '_'.
+std::string Sanitize(const std::string& family) {
+  std::string out = family;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    c == '_' || c == ':' || (i > 0 && c >= '0' && c <= '9');
+    if (!ok) out[i] = '_';
+  }
+  return out.empty() ? "_" : out;
+}
+
+std::string FormatValue(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+/// "name" or "name{labels}".
+std::string SeriesRef(const std::string& family, const std::string& labels) {
+  if (labels.empty()) return family;
+  return family + "{" + labels + "}";
+}
+
+/// "name{labels,extra}" with correct comma placement.
+std::string SeriesRefWith(const std::string& family, const std::string& labels,
+                          const std::string& extra) {
+  if (labels.empty()) return family + "{" + extra + "}";
+  return family + "{" + labels + "," + extra + "}";
+}
+
+struct Series {
+  std::string family;  // sanitized
+  std::string labels;  // raw label body, may be empty
+};
+
+Series ParseSeries(const std::string& name) {
+  Series series;
+  std::string family;
+  SplitName(name, &family, &series.labels);
+  series.family = Sanitize(family);
+  return series;
+}
+
+/// Emits "# TYPE family type" once per family (map tracks emission).
+void EmitType(std::ostringstream& out, std::map<std::string, bool>* seen,
+              const std::string& family, const char* type) {
+  if ((*seen)[family]) return;
+  (*seen)[family] = true;
+  out << "# TYPE " << family << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  std::map<std::string, bool> typed;
+
+  for (const auto& [name, counter] : counters_) {
+    const Series series = ParseSeries(name);
+    EmitType(out, &typed, series.family, "counter");
+    out << SeriesRef(series.family, series.labels) << ' ' << counter->Value()
+        << '\n';
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const Series series = ParseSeries(name);
+    EmitType(out, &typed, series.family, "gauge");
+    out << SeriesRef(series.family, series.labels) << ' ' << gauge->Value()
+        << '\n';
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const Series series = ParseSeries(name);
+    EmitType(out, &typed, series.family, "histogram");
+    uint64_t cumulative = 0;
+    for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      cumulative += histogram->BucketCount(i);
+      out << SeriesRefWith(
+                 series.family + "_bucket", series.labels,
+                 "le=\"" +
+                     FormatValue(LatencyHistogram::BucketUpperSeconds(i)) +
+                     "\"")
+          << ' ' << cumulative << '\n';
+    }
+    out << SeriesRef(series.family + "_sum", series.labels) << ' '
+        << FormatValue(histogram->SumSeconds()) << '\n';
+    out << SeriesRef(series.family + "_count", series.labels) << ' '
+        << cumulative << '\n';
+  }
+  // Derived quantile gauges, one family per (histogram family,
+  // quantile): log buckets make these within 2x of truth, which is
+  // what dashboards and `sans stats` actually read.
+  const struct {
+    const char* suffix;
+    double q;
+  } quantiles[] = {{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}};
+  for (const auto& quantile : quantiles) {
+    for (const auto& [name, histogram] : histograms_) {
+      const Series series = ParseSeries(name);
+      EmitType(out, &typed, series.family + quantile.suffix, "gauge");
+      out << SeriesRef(series.family + quantile.suffix, series.labels) << ' '
+          << FormatValue(histogram->Quantile(quantile.q)) << '\n';
+    }
+  }
+  return out.str();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Set(0);
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Clear();
+  }
+}
+
+}  // namespace sans

@@ -1,0 +1,184 @@
+// Process-wide metrics: named counters, gauges, and latency
+// histograms behind one registry, with Prometheus-style text
+// exposition.
+//
+// The hot path is lock-free: callers resolve a metric name to a
+// stable handle once (registration takes a mutex) and every update
+// after that is a single relaxed atomic RMW, so miners, the block
+// pipeline, and server request workers can share instruments without
+// contention. Reads race benignly with writers — a snapshot or a
+// rendered exposition may lag in-flight increments, which is the
+// normal Prometheus contract.
+//
+// Two registries exist in practice: `MetricsRegistry::Global()` is the
+// process-wide instance the mining layers record into, and `Server`
+// owns a private instance so that several servers in one process (the
+// test suite does this) report isolated counters over the wire.
+//
+// Naming convention: `sans_<subsystem>_<what>[_total|_seconds]`, with
+// an optional trailing Prometheus label set baked into the name
+// (`sans_serve_requests_total{type="topk"}`). RenderText groups series
+// of one family under a single # TYPE header and sanitizes whatever
+// is left into the exposition charset.
+
+#ifndef SANS_OBS_METRICS_H_
+#define SANS_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace sans {
+
+/// Monotonically increasing count. Increment is one relaxed
+/// fetch_add; never reset outside tests.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  /// Back to zero; only meaningful between runs (tests, run reports).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, active connections); may move in
+/// both directions.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  void Decrement() { Add(-1); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Latency histogram with fixed log-spaced buckets: bucket i counts
+/// durations in [2^i, 2^(i+1)) microseconds (bucket 0 also absorbs
+/// sub-microsecond values; the last bucket is open-ended). Log spacing
+/// keeps the relative quantile error bounded (a reported quantile is
+/// within 2x of the true value) at a fixed, tiny footprint. Record()
+/// is lock-free (two relaxed atomic adds), so concurrent request
+/// workers share one histogram; quantile reads race benignly with
+/// writers and may lag by the in-flight increments.
+///
+/// (Relocated here from util/timer so the serving and mining layers
+/// share one distribution type through the registry.)
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 40;
+
+  LatencyHistogram() = default;
+
+  // Atomics make the histogram non-copyable; pass by reference and
+  // use MergeFrom to aggregate per-thread instances.
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one duration. Negative durations count as zero.
+  void Record(double seconds);
+
+  /// Adds another histogram's counts into this one.
+  void MergeFrom(const LatencyHistogram& other);
+
+  /// Total recorded durations.
+  uint64_t TotalCount() const;
+
+  /// Sum of all recorded durations (microsecond resolution).
+  double SumSeconds() const;
+
+  /// Quantile estimate in seconds for q in [0, 1] (values outside the
+  /// range are clamped), linearly interpolated inside the containing
+  /// bucket. An empty histogram reports 0 for every q, and q = 1.0
+  /// never indexes past the last bucket.
+  double Quantile(double q) const;
+
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  /// Count in bucket `index` (for exposition and tests).
+  uint64_t BucketCount(int index) const;
+
+  /// Exclusive upper bound of bucket `index` in seconds; +infinity for
+  /// the open-ended last bucket.
+  static double BucketUpperSeconds(int index);
+
+  /// "n=1234 p50=1.2ms p95=4.5ms p99=9.8ms" (empty: "n=0").
+  std::string ToString() const;
+
+  void Clear();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_us_{0};
+};
+
+/// Point-in-time copy of every scalar instrument, keyed by registered
+/// name. Used to compute per-run deltas for run reports.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+};
+
+/// Counter deltas `after - before`; names absent from `before` count
+/// from zero, names absent from `after` are dropped. Zero deltas are
+/// omitted so run reports list only what the run actually touched.
+std::map<std::string, uint64_t> CounterDeltas(const MetricsSnapshot& before,
+                                              const MetricsSnapshot& after);
+
+/// Named instrument registry. Get* registers on first use and returns
+/// a handle that stays valid for the registry's lifetime, so hot paths
+/// resolve once (typically into a function-local static) and update
+/// lock-free afterwards.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the mining layers record into.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Prometheus text exposition (version 0.0.4): one `# TYPE` header
+  /// per family, counters/gauges as single samples, histograms as
+  /// cumulative `_bucket{le=...}` series plus `_sum`/`_count`, and —
+  /// because log-bucketed quantiles are what operators actually read —
+  /// derived `_p50`/`_p95`/`_p99` gauge families per histogram. Names
+  /// are sanitized to [a-zA-Z0-9_:]; a trailing `{label="value"}` set
+  /// in the registered name is preserved and merged with `le`.
+  std::string RenderText() const;
+
+  /// Copies every counter and gauge value (histograms are excluded;
+  /// their per-run story is told by the phase timers).
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered instrument. Handles stay valid. Intended
+  /// for tests that need a clean slate in a shared process.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace sans
+
+#endif  // SANS_OBS_METRICS_H_

@@ -1,0 +1,141 @@
+#include "obs/run_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sans {
+
+namespace {
+
+void AppendJsonString(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", seconds);
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderRunReportJson(const RunReport& report) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"algorithm\": ";
+  AppendJsonString(out, report.algorithm);
+  out << ",\n";
+  out << "  \"threshold\": " << FormatSeconds(report.threshold) << ",\n";
+  out << "  \"table_rows\": " << report.table_rows << ",\n";
+  out << "  \"table_cols\": " << report.table_cols << ",\n";
+  out << "  \"threads\": " << report.threads << ",\n";
+  out << "  \"phases\": [";
+  for (size_t i = 0; i < report.phases.size(); ++i) {
+    if (i > 0) out << ',';
+    out << "\n    {\"name\": ";
+    AppendJsonString(out, report.phases[i].name);
+    out << ", \"seconds\": " << FormatSeconds(report.phases[i].seconds) << '}';
+  }
+  if (!report.phases.empty()) out << "\n  ";
+  out << "],\n";
+  out << "  \"rows_scanned\": " << report.rows_scanned << ",\n";
+  out << "  \"candidates_generated\": " << report.candidates_generated
+      << ",\n";
+  out << "  \"candidates_verified\": " << report.candidates_verified << ",\n";
+  out << "  \"true_positives\": " << report.true_positives << ",\n";
+  out << "  \"false_positives\": " << report.false_positives << ",\n";
+  out << "  \"pairs_emitted\": " << report.pairs_emitted << ",\n";
+  out << "  \"metric_deltas\": {";
+  size_t i = 0;
+  for (const auto& [name, delta] : report.metric_deltas) {
+    if (i++ > 0) out << ',';
+    out << "\n    ";
+    AppendJsonString(out, name);
+    out << ": " << delta;
+  }
+  if (!report.metric_deltas.empty()) out << "\n  ";
+  out << "},\n";
+  out << "  \"trace\": "
+      << (report.trace_json.empty() ? "[]" : report.trace_json) << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+Status WriteRunReport(const RunReport& report, const std::string& path) {
+  const std::string json = RenderRunReportJson(report);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open run report for writing: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    return Status::IOError("short write to run report: " + path);
+  }
+  return Status::OK();
+}
+
+std::string RenderPhaseTable(const RunReport& report) {
+  double total = 0.0;
+  size_t name_width = 5;  // "total"
+  for (const RunReport::Phase& phase : report.phases) {
+    total += phase.seconds;
+    name_width = std::max(name_width, phase.name.size());
+  }
+  std::ostringstream out;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%-*s  %9s  %6s\n",
+                static_cast<int>(name_width), "phase", "seconds", "%");
+  out << buf;
+  for (const RunReport::Phase& phase : report.phases) {
+    const double pct = total > 0.0 ? 100.0 * phase.seconds / total : 0.0;
+    std::snprintf(buf, sizeof(buf), "%-*s  %9.3f  %6.1f\n",
+                  static_cast<int>(name_width), phase.name.c_str(),
+                  phase.seconds, pct);
+    out << buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%-*s  %9.3f  %6.1f\n",
+                static_cast<int>(name_width), "total", total,
+                total > 0.0 ? 100.0 : 0.0);
+  out << buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "rows scanned: %llu  candidates: %llu  verified: %llu  pairs: %llu\n",
+      static_cast<unsigned long long>(report.rows_scanned),
+      static_cast<unsigned long long>(report.candidates_generated),
+      static_cast<unsigned long long>(report.candidates_verified),
+      static_cast<unsigned long long>(report.pairs_emitted));
+  out << buf;
+  return out.str();
+}
+
+}  // namespace sans

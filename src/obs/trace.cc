@@ -1,0 +1,151 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sans {
+
+namespace {
+
+/// Innermost open TraceSpan on this thread; used to link parents
+/// without threading ids through call sites.
+thread_local struct OpenSpan {
+  const Trace* trace = nullptr;
+  int id = -1;
+} g_open_span;
+
+void AppendJsonString(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+int Trace::StartSpan(const std::string& name, int parent) {
+  const double now = epoch_.ElapsedSeconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.name = name;
+  if (parent >= 0 && parent < static_cast<int>(spans_.size())) {
+    span.parent = parent;
+    span.depth = spans_[parent].depth + 1;
+  }
+  span.start_seconds = now;
+  spans_.push_back(std::move(span));
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void Trace::EndSpan(int id) {
+  const double now = epoch_.ElapsedSeconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  Span& span = spans_[id];
+  if (span.duration_seconds < 0.0) {
+    span.duration_seconds = now - span.start_seconds;
+  }
+}
+
+std::vector<Trace::Span> Trace::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string Trace::ToString() const {
+  const std::vector<Span> spans = Spans();
+  // Align durations past the longest indented name.
+  size_t width = 0;
+  for (const Span& span : spans) {
+    width = std::max(width, 2 * static_cast<size_t>(span.depth) +
+                                span.name.size());
+  }
+  std::ostringstream out;
+  for (const Span& span : spans) {
+    const std::string indent(2 * static_cast<size_t>(span.depth), ' ');
+    out << indent << span.name
+        << std::string(width - indent.size() - span.name.size() + 2, ' ');
+    if (span.duration_seconds < 0.0) {
+      out << "(open)";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3fs", span.duration_seconds);
+      out << buf;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string Trace::ToJson() const {
+  const std::vector<Span> spans = Spans();
+  std::ostringstream out;
+  out << '[';
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out << ',';
+    const Span& span = spans[i];
+    out << "{\"name\":";
+    AppendJsonString(out, span.name);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"parent\":%d,\"start_seconds\":%.6f,\"seconds\":%.6f}",
+                  span.parent, span.start_seconds, span.duration_seconds);
+    out << buf;
+  }
+  out << ']';
+  return out.str();
+}
+
+TraceSpan::TraceSpan(Trace* trace, const std::string& name)
+    : TraceSpan(trace, name,
+                trace != nullptr && g_open_span.trace == trace
+                    ? g_open_span.id
+                    : -1) {}
+
+TraceSpan::TraceSpan(Trace* trace, const std::string& name, int parent)
+    : trace_(trace) {
+  if (trace_ == nullptr) return;
+  id_ = trace_->StartSpan(name, parent);
+  // Push this span as the thread's innermost open span; remember the
+  // previous top through the stashed (trace, id) pair instead of a
+  // pointer so nothing dangles if scopes interleave oddly.
+  previous_trace_ = g_open_span.trace;
+  previous_id_ = g_open_span.id;
+  g_open_span.trace = trace_;
+  g_open_span.id = id_;
+}
+
+TraceSpan::~TraceSpan() {
+  if (trace_ == nullptr) return;
+  trace_->EndSpan(id_);
+  g_open_span.trace = previous_trace_;
+  g_open_span.id = previous_id_;
+}
+
+}  // namespace sans

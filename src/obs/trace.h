@@ -1,0 +1,91 @@
+// Per-run trace tree: lightweight scoped timers (TraceSpan) that
+// record into a Trace, producing a tree of named spans with start
+// offsets and durations. One Trace covers one pipeline run; spans are
+// coarse (phases, artifact writes), so recording takes a mutex and no
+// attempt is made at lock-free ring buffers.
+//
+// Nesting is tracked per thread: a TraceSpan constructed while another
+// span of the same trace is open on the same thread becomes its child.
+// Spans opened on worker threads (no open parent on that thread)
+// attach to the root.
+
+#ifndef SANS_OBS_TRACE_H_
+#define SANS_OBS_TRACE_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace sans {
+
+class Trace {
+ public:
+  struct Span {
+    std::string name;
+    /// Index of the parent span, -1 for roots.
+    int parent = -1;
+    /// Nesting depth (roots are 0); derived from parent at open time.
+    int depth = 0;
+    /// Seconds between trace construction and span open.
+    double start_seconds = 0.0;
+    /// Seconds the span was open; -1 while still open.
+    double duration_seconds = -1.0;
+  };
+
+  Trace() = default;
+
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// Opens a span and returns its id. `parent` is an id returned
+  /// earlier or -1. Thread-safe.
+  int StartSpan(const std::string& name, int parent);
+
+  /// Closes the span (duration = now - start). Thread-safe.
+  void EndSpan(int id);
+
+  /// Copy of the recorded spans, in open order.
+  std::vector<Span> Spans() const;
+
+  /// Indented tree, one span per line:
+  ///   "run            0.532s\n  1-signatures  0.301s\n..."
+  std::string ToString() const;
+
+  /// JSON array of span objects (name, parent, start, seconds), in
+  /// open order; still-open spans report "seconds": -1.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  Stopwatch epoch_;
+  std::vector<Span> spans_;
+};
+
+/// RAII scoped timer. A null trace makes every operation a no-op, so
+/// call sites stay unconditional. Parent linkage is automatic through
+/// a thread-local stack of open spans.
+class TraceSpan {
+ public:
+  TraceSpan(Trace* trace, const std::string& name);
+  /// Links under `parent` (a StartSpan id) instead of the thread's
+  /// innermost open span — for code that keeps a root span open across
+  /// scopes the RAII stack cannot see.
+  TraceSpan(Trace* trace, const std::string& name, int parent);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Trace* trace_;
+  int id_ = -1;
+  // Previous innermost open span on this thread, restored on close.
+  const Trace* previous_trace_ = nullptr;
+  int previous_id_ = -1;
+};
+
+}  // namespace sans
+
+#endif  // SANS_OBS_TRACE_H_

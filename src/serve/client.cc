@@ -151,6 +151,14 @@ Result<ServerStatsSnapshot> Client::Stats() {
   return DecodeStatsResponse(&reader);
 }
 
+Result<std::string> Client::Metrics() {
+  SANS_ASSIGN_OR_RETURN(const std::vector<unsigned char> payload,
+                        Roundtrip(EncodeMetricsRequest()));
+  WireReader reader({});
+  SANS_RETURN_IF_ERROR(OpenResponse(payload, &reader));
+  return DecodeMetricsResponse(&reader);
+}
+
 Result<uint64_t> Client::Reload(const std::string& index_path) {
   SANS_ASSIGN_OR_RETURN(const std::vector<unsigned char> payload,
                         Roundtrip(EncodeReloadRequest(index_path)));

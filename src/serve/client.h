@@ -44,6 +44,8 @@ class Client {
                                      double min_similarity = 0.0);
   Result<double> PairSimilarity(ColumnId a, ColumnId b);
   Result<ServerStatsSnapshot> Stats();
+  /// Fetches the server's Prometheus text exposition.
+  Result<std::string> Metrics();
   /// Asks the server to load `index_path`; returns the new epoch.
   Result<uint64_t> Reload(const std::string& index_path);
 

@@ -218,6 +218,12 @@ std::vector<unsigned char> EncodeStatsRequest() {
   return w.TakePayload();
 }
 
+std::vector<unsigned char> EncodeMetricsRequest() {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(Opcode::kMetrics));
+  return w.TakePayload();
+}
+
 std::vector<unsigned char> EncodeReloadRequest(std::string_view index_path) {
   WireWriter w;
   w.PutU8(static_cast<uint8_t>(Opcode::kReload));
@@ -295,6 +301,21 @@ std::vector<unsigned char> EncodeStatsResponse(
   return w.TakePayload();
 }
 
+std::vector<unsigned char> EncodeMetricsResponse(std::string_view text) {
+  // Leave room for the response code byte and the string's own u32
+  // length prefix inside the frame cap.
+  constexpr size_t kMaxTextBytes = kMaxFramePayload - 16;
+  if (text.size() > kMaxTextBytes) {
+    // Cut at the last complete line that fits; a torn sample line
+    // would corrupt the whole exposition for a scraper.
+    const size_t newline = text.rfind('\n', kMaxTextBytes - 1);
+    text = text.substr(0, newline == std::string_view::npos ? 0 : newline + 1);
+  }
+  WireWriter w = OkHeader();
+  w.PutBytes(text);
+  return w.TakePayload();
+}
+
 std::vector<unsigned char> EncodeReloadResponse(uint64_t epoch) {
   WireWriter w = OkHeader();
   w.PutU64(epoch);
@@ -355,6 +376,12 @@ Result<ServerStatsSnapshot> DecodeStatsResponse(WireReader* reader) {
   SANS_ASSIGN_OR_RETURN(stats.p99_seconds, reader->GetDouble());
   SANS_RETURN_IF_ERROR(reader->ExpectEnd());
   return stats;
+}
+
+Result<std::string> DecodeMetricsResponse(WireReader* reader) {
+  SANS_ASSIGN_OR_RETURN(std::string text, reader->GetBytes());
+  SANS_RETURN_IF_ERROR(reader->ExpectEnd());
+  return text;
 }
 
 Result<uint64_t> DecodeReloadResponse(WireReader* reader) {

@@ -38,6 +38,8 @@ enum class Opcode : uint8_t {
   kPairSimilarity = 3,
   kStats = 4,
   kReload = 5,
+  /// Full Prometheus text exposition of the server's metrics registry.
+  kMetrics = 6,
 };
 
 enum class ResponseCode : uint8_t {
@@ -135,6 +137,7 @@ std::vector<unsigned char> EncodeTopKRequest(ColumnId col, uint32_t k,
                                              double min_similarity);
 std::vector<unsigned char> EncodePairSimilarityRequest(ColumnId a, ColumnId b);
 std::vector<unsigned char> EncodeStatsRequest();
+std::vector<unsigned char> EncodeMetricsRequest();
 std::vector<unsigned char> EncodeReloadRequest(std::string_view index_path);
 
 struct TopKRequest {
@@ -156,6 +159,10 @@ std::vector<unsigned char> EncodeTopKResponse(
 std::vector<unsigned char> EncodePairSimilarityResponse(double similarity);
 std::vector<unsigned char> EncodeStatsResponse(
     const ServerStatsSnapshot& stats);
+/// Body is the exposition text as one length-prefixed byte string;
+/// text beyond kMaxFramePayload is truncated at a line boundary so the
+/// frame always fits.
+std::vector<unsigned char> EncodeMetricsResponse(std::string_view text);
 std::vector<unsigned char> EncodeReloadResponse(uint64_t epoch);
 std::vector<unsigned char> EncodeErrorResponse(const Status& status);
 
@@ -166,6 +173,7 @@ Result<ResponseCode> DecodeResponseCode(WireReader* reader);
 Result<std::vector<Neighbor>> DecodeTopKResponse(WireReader* reader);
 Result<double> DecodePairSimilarityResponse(WireReader* reader);
 Result<ServerStatsSnapshot> DecodeStatsResponse(WireReader* reader);
+Result<std::string> DecodeMetricsResponse(WireReader* reader);
 Result<uint64_t> DecodeReloadResponse(WireReader* reader);
 Status DecodeErrorResponse(WireReader* reader);
 

@@ -36,11 +36,29 @@ void SetRecvTimeout(int fd, int ms) {
   setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
+/// Label value per RequestType, indexable by the enum.
+constexpr const char* kTypeLabels[] = {"ping",    "topk",   "pair",
+                                       "stats",   "metrics", "reload",
+                                       "invalid"};
+
 }  // namespace
 
 Server::Server(std::shared_ptr<const SimilarityIndex> index,
                const ServerConfig& config)
-    : config_(config), index_(std::move(index)) {}
+    : config_(config), index_(std::move(index)) {
+  for (int t = 0; t < kNumRequestTypes; ++t) {
+    const std::string label = std::string("{type=\"") + kTypeLabels[t] + "\"}";
+    per_type_[t].requests =
+        metrics_.GetCounter("sans_serve_requests_total" + label);
+    per_type_[t].latency =
+        metrics_.GetHistogram("sans_serve_request_seconds" + label);
+  }
+  errors_ = metrics_.GetCounter("sans_serve_errors_total");
+  bytes_read_ = metrics_.GetCounter("sans_serve_bytes_read_total");
+  bytes_written_ = metrics_.GetCounter("sans_serve_bytes_written_total");
+  reloads_ = metrics_.GetCounter("sans_serve_index_reloads_total");
+  active_connections_ = metrics_.GetGauge("sans_serve_active_connections");
+}
 
 Result<std::unique_ptr<Server>> Server::Start(
     std::shared_ptr<const SimilarityIndex> index, const ServerConfig& config) {
@@ -121,6 +139,7 @@ void Server::AcceptLoop() {
 }
 
 void Server::ServeConnection(int fd) {
+  active_connections_->Increment();
   ReadFrameOptions options;
   options.cancel = &stopping_;
   options.retry_timeouts_midframe = true;
@@ -132,41 +151,52 @@ void Server::ServeConnection(int fd) {
       // error): answer with an error frame if the transport still
       // works, then drop the connection — resynchronization inside a
       // byte stream is guesswork.
-      errors_.fetch_add(1, std::memory_order_relaxed);
-      requests_.fetch_add(1, std::memory_order_relaxed);
-      (void)WriteFrame(fd, EncodeErrorResponse(event.status()));
+      errors_->Increment();
+      per_type_[kTypeInvalid].requests->Increment();
+      const std::vector<unsigned char> error =
+          EncodeErrorResponse(event.status());
+      if (WriteFrame(fd, error).ok()) {
+        bytes_written_->Increment(error.size() + 4);
+      }
       break;
     }
     if (*event == FrameEvent::kClosed) break;
     if (*event == FrameEvent::kTimeout) continue;  // poll tick
+    bytes_read_->Increment(payload.size() + 4);  // +4: length prefix
 
     Stopwatch watch;
-    const std::vector<unsigned char> response = HandleRequest(payload);
-    latency_.Record(watch.ElapsedSeconds());
-    requests_.fetch_add(1, std::memory_order_relaxed);
+    RequestType type = kTypeInvalid;
+    const std::vector<unsigned char> response = HandleRequest(payload, &type);
+    per_type_[type].latency->Record(watch.ElapsedSeconds());
+    per_type_[type].requests->Increment();
     if (!WriteFrame(fd, response).ok()) break;
+    bytes_written_->Increment(response.size() + 4);
   }
   close(fd);
+  active_connections_->Decrement();
 }
 
 std::vector<unsigned char> Server::HandleRequest(
-    std::span<const unsigned char> payload) {
+    std::span<const unsigned char> payload, RequestType* type) {
   WireReader reader(payload);
   const auto fail = [this](const Status& status) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Increment();
     return EncodeErrorResponse(status);
   };
 
+  *type = kTypeInvalid;
   auto opcode = reader.GetU8();
   if (!opcode.ok()) return fail(opcode.status());
 
   switch (static_cast<Opcode>(*opcode)) {
     case Opcode::kPing: {
+      *type = kTypePing;
       const Status trailing = reader.ExpectEnd();
       if (!trailing.ok()) return fail(trailing);
       return EncodeOkResponse();
     }
     case Opcode::kTopK: {
+      *type = kTypeTopK;
       auto request = DecodeTopKRequest(&reader);
       if (!request.ok()) return fail(request.status());
       if (request->k == 0 || request->k > config_.max_top_k) {
@@ -182,6 +212,7 @@ std::vector<unsigned char> Server::HandleRequest(
       return EncodeTopKResponse(*neighbors);
     }
     case Opcode::kPairSimilarity: {
+      *type = kTypePair;
       auto request = DecodePairSimilarityRequest(&reader);
       if (!request.ok()) return fail(request.status());
       const QueryEngine engine(Index());
@@ -190,11 +221,19 @@ std::vector<unsigned char> Server::HandleRequest(
       return EncodePairSimilarityResponse(*similarity);
     }
     case Opcode::kStats: {
+      *type = kTypeStats;
       const Status trailing = reader.ExpectEnd();
       if (!trailing.ok()) return fail(trailing);
       return EncodeStatsResponse(Stats());
     }
+    case Opcode::kMetrics: {
+      *type = kTypeMetrics;
+      const Status trailing = reader.ExpectEnd();
+      if (!trailing.ok()) return fail(trailing);
+      return EncodeMetricsResponse(MetricsText());
+    }
     case Opcode::kReload: {
+      *type = kTypeReload;
       auto path = DecodeReloadRequest(&reader);
       if (!path.ok()) return fail(path.status());
       if (!config_.allow_reload) {
@@ -223,22 +262,30 @@ void Server::Reload(std::shared_ptr<const SimilarityIndex> index) {
     index_ = std::move(index);
   }
   epoch_.fetch_add(1, std::memory_order_acq_rel);
-  reloads_.fetch_add(1, std::memory_order_relaxed);
+  reloads_->Increment();
   SANS_LOG(kInfo) << "index reloaded, now epoch "
                   << epoch_.load(std::memory_order_acquire);
 }
 
 ServerStatsSnapshot Server::Stats() const {
   ServerStatsSnapshot stats;
-  stats.requests = requests_.load(std::memory_order_relaxed);
-  stats.errors = errors_.load(std::memory_order_relaxed);
-  stats.reloads = reloads_.load(std::memory_order_relaxed);
+  // The wire snapshot aggregates over request types; the full per-type
+  // breakdown travels through kMetrics instead.
+  LatencyHistogram merged;
+  for (const TypeInstruments& type : per_type_) {
+    stats.requests += type.requests->Value();
+    merged.MergeFrom(*type.latency);
+  }
+  stats.errors = errors_->Value();
+  stats.reloads = reloads_->Value();
   stats.epoch = epoch_.load(std::memory_order_acquire);
-  stats.p50_seconds = latency_.P50();
-  stats.p95_seconds = latency_.P95();
-  stats.p99_seconds = latency_.P99();
+  stats.p50_seconds = merged.P50();
+  stats.p95_seconds = merged.P95();
+  stats.p99_seconds = merged.P99();
   return stats;
 }
+
+std::string Server::MetricsText() const { return metrics_.RenderText(); }
 
 void Server::Stop() {
   // Serialize concurrent Stop() calls (e.g. explicit Stop then the
@@ -253,9 +300,14 @@ void Server::Stop() {
   // Drains queued connection tasks (each exits fast on stopping_) and
   // joins the workers.
   pool_.reset();
-  SANS_LOG(kInfo) << "sans serve stopped after "
-                  << requests_.load(std::memory_order_relaxed)
-                  << " requests; latency " << latency_.ToString();
+  const ServerStatsSnapshot final_stats = Stats();
+  LatencyHistogram merged;
+  for (const TypeInstruments& type : per_type_) {
+    merged.MergeFrom(*type.latency);
+  }
+  SANS_LOG(kInfo) << "sans serve drained: " << final_stats.requests
+                  << " requests served, " << final_stats.errors
+                  << " errors; latency " << merged.ToString();
 }
 
 }  // namespace sans

@@ -8,15 +8,20 @@
 // side and swaps it in without blocking in-flight queries — the old
 // epoch drains naturally as its shared_ptrs release.
 //
-// Every request is timed into a LatencyHistogram and counted; kStats
-// reports the counters over the wire, and Stop() logs a final summary.
-// Malformed frames get an error response (when the stream is still
-// framed) or a connection close (when framing itself is lost); the
-// server never crashes on client bytes.
+// Observability lives in a server-private MetricsRegistry (private so
+// several servers in one test process report isolated counters):
+// per-request-type counters and latency histograms, bytes in/out,
+// active connections, errors, and index reloads. kStats reports the
+// headline counters over the wire, kMetrics ships the full Prometheus
+// text exposition, and Stop() logs a drain summary. Malformed frames
+// get an error response (when the stream is still framed) or a
+// connection close (when framing itself is lost); the server never
+// crashes on client bytes.
 
 #ifndef SANS_SERVE_SERVER_H_
 #define SANS_SERVE_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -24,6 +29,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
 #include "serve/similarity_index.h"
@@ -70,19 +76,42 @@ class Server {
 
   ServerStatsSnapshot Stats() const;
 
+  /// Prometheus text exposition of this server's metrics registry
+  /// (what a kMetrics frame returns).
+  std::string MetricsText() const;
+
   /// Stops accepting, drains connections, joins all threads.
   /// Idempotent; also invoked by the destructor.
   void Stop();
 
  private:
+  /// Request categories for per-type counters/latency; kTypeInvalid
+  /// absorbs unknown opcodes and frames that fail before dispatch.
+  enum RequestType {
+    kTypePing = 0,
+    kTypeTopK,
+    kTypePair,
+    kTypeStats,
+    kTypeMetrics,
+    kTypeReload,
+    kTypeInvalid,
+    kNumRequestTypes,
+  };
+
+  struct TypeInstruments {
+    Counter* requests = nullptr;
+    LatencyHistogram* latency = nullptr;
+  };
+
   Server(std::shared_ptr<const SimilarityIndex> index,
          const ServerConfig& config);
 
   void AcceptLoop();
   void ServeConnection(int fd);
-  /// Answers one decoded frame; returns the response payload.
+  /// Answers one decoded frame; returns the response payload and sets
+  /// `*type` to the request's category for per-type accounting.
   std::vector<unsigned char> HandleRequest(
-      std::span<const unsigned char> payload);
+      std::span<const unsigned char> payload, RequestType* type);
 
   std::shared_ptr<const SimilarityIndex> Index() const;
 
@@ -96,10 +125,16 @@ class Server {
 
   std::mutex stop_mu_;
   std::atomic<bool> stopping_{false};
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> errors_{0};
-  std::atomic<uint64_t> reloads_{0};
-  LatencyHistogram latency_;
+
+  // Private registry (see header comment); handles below are resolved
+  // once in the constructor and updated lock-free on the request path.
+  MetricsRegistry metrics_;
+  std::array<TypeInstruments, kNumRequestTypes> per_type_{};
+  Counter* errors_ = nullptr;
+  Counter* bytes_read_ = nullptr;
+  Counter* bytes_written_ = nullptr;
+  Counter* reloads_ = nullptr;
+  Gauge* active_connections_ = nullptr;
 
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "sketch/signature_matrix.h"
 #include "util/bounded_heap.h"
 
@@ -82,8 +83,14 @@ Result<KMinHashSketch> KMinHashGenerator::Compute(RowStream* rows) const {
   for (ColumnId c = 0; c < m; ++c) {
     heaps.emplace_back(static_cast<size_t>(config_.k));
   }
+  // This sequential scan bypasses the block pipeline, so it feeds the
+  // shared rows-scanned counter itself (one add at scan end).
+  static Counter* const rows_scanned =
+      MetricsRegistry::Global().GetCounter("sans_scan_rows_total");
+  uint64_t rows_seen = 0;
   RowView view;
   while (rows->Next(&view)) {
+    ++rows_seen;
     if (view.columns.empty()) continue;  // nothing to update
     uint64_t value = hasher_->Hash(view.row);
     if (value == kEmptyMinHash) value -= 1;  // keep sentinel unreachable
@@ -92,6 +99,7 @@ Result<KMinHashSketch> KMinHashGenerator::Compute(RowStream* rows) const {
       ++sketch.cardinalities_[c];
     }
   }
+  rows_scanned->Increment(rows_seen);
   SANS_RETURN_IF_ERROR(rows->stream_status());
   for (ColumnId c = 0; c < m; ++c) {
     sketch.signatures_[c] = heaps[c].TakeSortedValues();

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace sans {
 
 Status MinHashConfig::Validate() const {
@@ -36,8 +38,14 @@ Result<SignatureMatrix> MinHashGenerator::Compute(
     cardinalities->assign(rows->num_cols(), 0);
   }
   std::vector<uint64_t> row_hashes(config_.num_hashes);
+  // This sequential scan bypasses the block pipeline, so it feeds the
+  // shared rows-scanned counter itself (one add at scan end).
+  static Counter* const rows_scanned =
+      MetricsRegistry::Global().GetCounter("sans_scan_rows_total");
+  uint64_t rows_seen = 0;
   RowView view;
   while (rows->Next(&view)) {
+    ++rows_seen;
     // Empty rows touch no column; skip the k hash evaluations (matters
     // for shingle matrices whose row space is mostly empty buckets).
     if (view.columns.empty()) continue;
@@ -54,6 +62,7 @@ Result<SignatureMatrix> MinHashGenerator::Compute(
       }
     }
   }
+  rows_scanned->Increment(rows_seen);
   // Signatures over a truncated scan are silently biased — fail the
   // pass instead of ending it "cleanly".
   SANS_RETURN_IF_ERROR(rows->stream_status());

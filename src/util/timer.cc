@@ -1,7 +1,5 @@
 #include "util/timer.h"
 
-#include <bit>
-#include <cmath>
 #include <sstream>
 
 namespace sans {
@@ -21,103 +19,6 @@ std::string PhaseTimer::ToString() const {
     out << phase << '=' << seconds << 's';
   }
   return out.str();
-}
-
-namespace {
-
-/// Bucket index for a duration of `us` microseconds: floor(log2(us)),
-/// clamped to the fixed range.
-int BucketIndex(uint64_t us) {
-  if (us < 2) return 0;
-  const int index = std::bit_width(us) - 1;
-  return index < LatencyHistogram::kNumBuckets
-             ? index
-             : LatencyHistogram::kNumBuckets - 1;
-}
-
-/// Inclusive bucket bounds in microseconds.
-double BucketLowerUs(int index) {
-  return index == 0 ? 0.0 : static_cast<double>(uint64_t{1} << index);
-}
-
-double BucketUpperUs(int index) {
-  return static_cast<double>(uint64_t{1} << (index + 1));
-}
-
-}  // namespace
-
-void LatencyHistogram::Record(double seconds) {
-  const double us = seconds * 1e6;
-  const uint64_t rounded =
-      us <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(us));
-  buckets_[BucketIndex(rounded)].fetch_add(1, std::memory_order_relaxed);
-}
-
-void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
-  for (int i = 0; i < kNumBuckets; ++i) {
-    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
-    if (n > 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
-  }
-}
-
-uint64_t LatencyHistogram::TotalCount() const {
-  uint64_t total = 0;
-  for (const auto& bucket : buckets_) {
-    total += bucket.load(std::memory_order_relaxed);
-  }
-  return total;
-}
-
-double LatencyHistogram::Quantile(double q) const {
-  uint64_t counts[kNumBuckets];
-  uint64_t total = 0;
-  for (int i = 0; i < kNumBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
-  if (total == 0) return 0.0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
-  // Rank of the target observation, 1-based; rank r lies in the first
-  // bucket whose cumulative count reaches r.
-  const uint64_t rank =
-      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * total)));
-  uint64_t cumulative = 0;
-  for (int i = 0; i < kNumBuckets; ++i) {
-    if (counts[i] == 0) continue;
-    if (cumulative + counts[i] >= rank) {
-      // Interpolate the rank's position inside the bucket.
-      const double within =
-          (static_cast<double>(rank - cumulative) - 0.5) / counts[i];
-      const double us = BucketLowerUs(i) +
-                        within * (BucketUpperUs(i) - BucketLowerUs(i));
-      return us / 1e6;
-    }
-    cumulative += counts[i];
-  }
-  return BucketUpperUs(kNumBuckets - 1) / 1e6;
-}
-
-std::string LatencyHistogram::ToString() const {
-  const uint64_t total = TotalCount();
-  std::ostringstream out;
-  out << "n=" << total;
-  if (total == 0) return out.str();
-  const auto format_ms = [&out](const char* label, double seconds) {
-    out << ' ' << label << '=';
-    out.precision(3);
-    out << seconds * 1e3 << "ms";
-  };
-  format_ms("p50", P50());
-  format_ms("p95", P95());
-  format_ms("p99", P99());
-  return out.str();
-}
-
-void LatencyHistogram::Clear() {
-  for (auto& bucket : buckets_) {
-    bucket.store(0, std::memory_order_relaxed);
-  }
 }
 
 }  // namespace sans

@@ -1,16 +1,13 @@
-// Wall-clock stopwatch, a phase-timing accumulator used by the
+// Wall-clock stopwatch and a phase-timing accumulator used by the
 // benchmark harness to report per-phase costs (signature generation,
 // candidate generation, verification) the way the paper's Section 5
-// figures break them down, and a fixed-bucket latency histogram for
-// request-serving stats (p50/p95/p99).
+// figures break them down. (LatencyHistogram, which used to live here,
+// moved to obs/metrics.h so it registers alongside counters/gauges.)
 
 #ifndef SANS_UTIL_TIMER_H_
 #define SANS_UTIL_TIMER_H_
 
-#include <array>
-#include <atomic>
 #include <chrono>
-#include <cstdint>
 #include <map>
 #include <string>
 
@@ -64,52 +61,6 @@ class PhaseTimer {
 
  private:
   std::map<std::string, double> totals_;
-};
-
-/// Latency histogram with fixed log-spaced buckets: bucket i counts
-/// durations in [2^i, 2^(i+1)) microseconds (bucket 0 also absorbs
-/// sub-microsecond values; the last bucket is open-ended at ~2^39 µs,
-/// about 6 days). Log spacing keeps the relative quantile error
-/// bounded (a reported quantile is within 2x of the true value) at a
-/// fixed, tiny footprint. Record() is lock-free (one relaxed atomic
-/// increment), so concurrent request workers share one histogram;
-/// quantile reads race benignly with writers and may lag by the
-/// in-flight increments.
-class LatencyHistogram {
- public:
-  static constexpr int kNumBuckets = 40;
-
-  LatencyHistogram() = default;
-
-  // Atomics make the histogram non-copyable; pass by reference and
-  // use MergeFrom to aggregate per-thread instances.
-  LatencyHistogram(const LatencyHistogram&) = delete;
-  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
-
-  /// Records one duration. Negative durations count as zero.
-  void Record(double seconds);
-
-  /// Adds another histogram's counts into this one.
-  void MergeFrom(const LatencyHistogram& other);
-
-  /// Total recorded durations.
-  uint64_t TotalCount() const;
-
-  /// Quantile estimate in seconds for q in [0, 1], linearly
-  /// interpolated inside the containing bucket. Returns 0 when empty.
-  double Quantile(double q) const;
-
-  double P50() const { return Quantile(0.50); }
-  double P95() const { return Quantile(0.95); }
-  double P99() const { return Quantile(0.99); }
-
-  /// "n=1234 p50=1.2ms p95=4.5ms p99=9.8ms" (empty: "n=0").
-  std::string ToString() const;
-
-  void Clear();
-
- private:
-  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
 };
 
 /// RAII guard that adds the scope's duration to a PhaseTimer on exit.

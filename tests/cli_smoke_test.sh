@@ -32,6 +32,18 @@ tail -n +2 mine_mh.out | cut -f1,2 | sort > mh_pairs.txt
 tail -n +2 mine_kmh.out | cut -f1,2 | sort > kmh_pairs.txt
 diff mh_pairs.txt kmh_pairs.txt
 
+echo "== run report =="
+"$SANS_BIN" mine --in corpus.sans --algorithm mh --threshold 0.6 \
+    --seed 5 --run-report report.json > mine_report.out 2> mine_report.err
+python3 -m json.tool report.json > /dev/null
+grep -q '"rows_scanned"' report.json
+grep -q '"phases"' report.json
+grep -q '"1-signatures"' report.json
+grep -q '"candidates_generated"' report.json
+# The CLI prints the phase table alongside the pairs.
+grep -q '^total' mine_report.err
+grep -q 'rows scanned:' mine_report.err
+
 echo "== truth matches mh =="
 "$SANS_BIN" truth --in corpus.sans --threshold 0.6 > truth.out
 tail -n +2 truth.out | cut -f1,2 | sort > truth_pairs.txt
@@ -133,6 +145,15 @@ awk -v est="$EST" -v exact="$TSIM" \
 "$SANS_BIN" query --port "$PORT" --stats > qstats.out
 grep -q 'requests:' qstats.out
 grep -q 'errors: 0' qstats.out
+
+# Prometheus scrape over the wire: per-type request counters and
+# latency quantiles for the traffic this script just generated.
+"$SANS_BIN" stats "127.0.0.1:$PORT" > metrics.out
+grep -q '# TYPE sans_serve_requests_total counter' metrics.out
+grep -q 'sans_serve_requests_total{type="topk"}' metrics.out
+grep -q 'sans_serve_request_seconds_bucket{type="topk",le="+Inf"}' metrics.out
+grep -q 'sans_serve_request_seconds_p99{type="topk"}' metrics.out
+grep -q 'sans_serve_active_connections' metrics.out
 
 # Out-of-range queries come back as clean errors, not hangs/crashes.
 if "$SANS_BIN" query --port "$PORT" --col 999999 2> bad_query.err; then

@@ -100,6 +100,46 @@ TEST_F(PipelineRunnerTest, CleanRunMatchesDirectMiner) {
   EXPECT_GT(summary->report.pairs.size(), 0u);
 }
 
+TEST_F(PipelineRunnerTest, RunReportCapturesPhasesAndCounts) {
+  const BinaryMatrix m = TestMatrix();
+  InMemorySource source(&m);
+  PipelineConfig config = MlshConfig(Dir());
+  config.run_report_path = Path("report.json");
+
+  PipelineRunner runner(config);
+  auto summary = runner.Run(source);
+  ASSERT_TRUE(summary.ok());
+
+  const RunReport& report = summary->run_report;
+  EXPECT_EQ(report.algorithm, "mlsh");
+  EXPECT_DOUBLE_EQ(report.threshold, 0.6);
+  EXPECT_EQ(report.table_rows, m.num_rows());
+  EXPECT_EQ(report.table_cols, m.num_cols());
+  // All three phases timed, in pipeline order.
+  ASSERT_EQ(report.phases.size(), 3u);
+  EXPECT_EQ(report.phases[0].name, "1-signatures");
+  EXPECT_EQ(report.phases[1].name, "2-candidates");
+  EXPECT_EQ(report.phases[2].name, "3-verify");
+  // Signatures scan + verify scan each touch every row.
+  EXPECT_GE(report.rows_scanned, 2u * m.num_rows());
+  EXPECT_GT(report.candidates_generated, 0u);
+  EXPECT_GT(report.candidates_verified, 0u);
+  EXPECT_EQ(report.true_positives, summary->report.pairs.size());
+  EXPECT_EQ(report.pairs_emitted, summary->report.pairs.size());
+  // The span trace includes the root and the stage spans.
+  EXPECT_NE(report.trace_json.find("\"name\":\"run\""), std::string::npos);
+  EXPECT_NE(report.trace_json.find("1-signatures"), std::string::npos);
+
+  // The JSON document landed on disk and parses structurally (field
+  // spot-checks; full parsing is the smoke test's python job).
+  std::ifstream in(config.run_report_path);
+  ASSERT_TRUE(in.good());
+  const std::string json((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_EQ(json, RenderRunReportJson(report));
+  EXPECT_NE(json.find("\"algorithm\": \"mlsh\""), std::string::npos);
+}
+
 TEST_F(PipelineRunnerTest, FullResumeReusesEveryStage) {
   const BinaryMatrix m = TestMatrix();
   InMemorySource source(&m);

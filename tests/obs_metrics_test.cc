@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sans {
+namespace {
+
+TEST(CounterTest, IncrementAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, MovesBothDirections) {
+  Gauge gauge;
+  gauge.Set(5);
+  gauge.Increment();
+  gauge.Decrement();
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.Value(), -5);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("sans_test_total");
+  Counter* b = registry.GetCounter("sans_test_total");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(b->Value(), 3u);
+  // Distinct kinds with distinct names coexist.
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("sans_test_gauge")),
+            static_cast<void*>(a));
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("sans_contended_total")->Increment();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("sans_contended_total")->Value(),
+            4000u);
+}
+
+TEST(MetricsRegistryTest, SnapshotAndDeltas) {
+  MetricsRegistry registry;
+  Counter* scans = registry.GetCounter("sans_scan_rows_total");
+  scans->Increment(100);
+  const MetricsSnapshot before = registry.Snapshot();
+  scans->Increment(50);
+  registry.GetCounter("sans_new_total")->Increment(7);
+  registry.GetCounter("sans_untouched_total");
+  const MetricsSnapshot after = registry.Snapshot();
+
+  const auto deltas = CounterDeltas(before, after);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas.at("sans_scan_rows_total"), 50u);
+  EXPECT_EQ(deltas.at("sans_new_total"), 7u);
+  // Zero deltas are omitted.
+  EXPECT_EQ(deltas.count("sans_untouched_total"), 0u);
+}
+
+TEST(MetricsRegistryTest, ResetForTestZeroesEverything) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("sans_reset_total");
+  Gauge* gauge = registry.GetGauge("sans_reset_gauge");
+  LatencyHistogram* histogram = registry.GetHistogram("sans_reset_seconds");
+  counter->Increment(9);
+  gauge->Set(9);
+  histogram->Record(1e-3);
+  registry.ResetForTest();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(gauge->Value(), 0);
+  EXPECT_EQ(histogram->TotalCount(), 0u);
+}
+
+// --- RenderText golden output ---------------------------------------
+
+TEST(RenderTextTest, GoldenCountersAndGauges) {
+  MetricsRegistry registry;
+  registry.GetCounter("sans_a_total")->Increment(3);
+  registry.GetCounter("sans_b_total{type=\"topk\"}")->Increment(1);
+  registry.GetCounter("sans_b_total{type=\"ping\"}")->Increment(2);
+  registry.GetGauge("sans_depth")->Set(-4);
+
+  const std::string expected =
+      "# TYPE sans_a_total counter\n"
+      "sans_a_total 3\n"
+      "# TYPE sans_b_total counter\n"
+      "sans_b_total{type=\"ping\"} 2\n"
+      "sans_b_total{type=\"topk\"} 1\n"
+      "# TYPE sans_depth gauge\n"
+      "sans_depth -4\n";
+  EXPECT_EQ(registry.RenderText(), expected);
+}
+
+TEST(RenderTextTest, SanitizesInvalidNameCharacters) {
+  MetricsRegistry registry;
+  registry.GetCounter("9sans bad-name.total")->Increment(1);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("_sans_bad_name_total 1\n"), std::string::npos);
+  EXPECT_EQ(text.find("bad-name"), std::string::npos);
+}
+
+TEST(RenderTextTest, HistogramEmitsCumulativeBucketsSumCount) {
+  MetricsRegistry registry;
+  LatencyHistogram* histogram =
+      registry.GetHistogram("sans_req_seconds{type=\"topk\"}");
+  histogram->Record(3e-6);   // bucket [2us, 4us)
+  histogram->Record(3e-6);
+  histogram->Record(100e-6);  // bucket [64us, 128us)
+  const std::string text = registry.RenderText();
+
+  EXPECT_NE(text.find("# TYPE sans_req_seconds histogram\n"),
+            std::string::npos);
+  // Cumulative counts: nothing below 2us, two by 4us, three by 128us.
+  EXPECT_NE(
+      text.find("sans_req_seconds_bucket{type=\"topk\",le=\"2e-06\"} 0\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("sans_req_seconds_bucket{type=\"topk\",le=\"4e-06\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "sans_req_seconds_bucket{type=\"topk\",le=\"0.000128\"} 3\n"),
+      std::string::npos);
+  // The last bucket is +Inf and carries the total.
+  EXPECT_NE(
+      text.find("sans_req_seconds_bucket{type=\"topk\",le=\"+Inf\"} 3\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("sans_req_seconds_sum{type=\"topk\"} 0.000106\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sans_req_seconds_count{type=\"topk\"} 3\n"),
+            std::string::npos);
+  // Derived quantile gauges exist per histogram family.
+  EXPECT_NE(text.find("# TYPE sans_req_seconds_p50 gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sans_req_seconds_p99{type=\"topk\"} "),
+            std::string::npos);
+}
+
+TEST(RenderTextTest, EmptyRegistryRendersNothing) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.RenderText(), "");
+}
+
+// --- LatencyHistogram (relocated from util/timer) -------------------
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+  EXPECT_EQ(histogram.ToString(), "n=0");
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramIsZeroForEveryQuantile) {
+  // Regression: the empty case must hold for the extremes too, not
+  // just interior quantiles.
+  LatencyHistogram histogram;
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.SumSeconds(), 0.0);
+}
+
+TEST(LatencyHistogramTest, FullQuantileNeverIndexesPastLastBucket) {
+  // Regression: q = 1.0 ranks the final observation; with everything
+  // in the open-ended last bucket the estimate must stay finite.
+  LatencyHistogram histogram;
+  histogram.Record(1e12);  // ~31,000 years, lands in the last bucket
+  const double top = histogram.Quantile(1.0);
+  EXPECT_GT(top, 0.0);
+  EXPECT_TRUE(std::isfinite(top));
+  // Out-of-range q clamps instead of misbehaving.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(2.0), top);
+  EXPECT_GE(histogram.Quantile(-1.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinBucketResolution) {
+  LatencyHistogram histogram;
+  // 90 fast requests at ~100µs, 10 slow at ~50ms.
+  for (int i = 0; i < 90; ++i) histogram.Record(100e-6);
+  for (int i = 0; i < 10; ++i) histogram.Record(50e-3);
+  EXPECT_EQ(histogram.TotalCount(), 100u);
+  // Log-spaced buckets guarantee a quantile within 2x of the truth.
+  EXPECT_GE(histogram.P50(), 50e-6);
+  EXPECT_LE(histogram.P50(), 200e-6);
+  EXPECT_GE(histogram.P99(), 25e-3);
+  EXPECT_LE(histogram.P99(), 100e-3);
+  // The p95 boundary falls on the slow tail's first observation.
+  EXPECT_GE(histogram.P95(), 25e-3);
+}
+
+TEST(LatencyHistogramTest, QuantileIsMonotoneInQ) {
+  LatencyHistogram histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.Record(i * 1e-5);
+  double previous = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double value = histogram.Quantile(q);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+TEST(LatencyHistogramTest, NegativeAndZeroLandInFirstBucket) {
+  LatencyHistogram histogram;
+  histogram.Record(-1.0);
+  histogram.Record(0.0);
+  histogram.Record(0.5e-6);
+  EXPECT_EQ(histogram.TotalCount(), 3u);
+  // Everything sits in bucket 0, so all quantiles stay under 2µs.
+  EXPECT_LE(histogram.Quantile(1.0), 2e-6);
+}
+
+TEST(LatencyHistogramTest, MergeFromAddsCounts) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 10; ++i) a.Record(1e-3);
+  for (int i = 0; i < 20; ++i) b.Record(8e-3);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.TotalCount(), 30u);
+  EXPECT_GE(a.P95(), 4e-3);
+  b.Clear();
+  EXPECT_EQ(b.TotalCount(), 0u);
+  EXPECT_EQ(a.TotalCount(), 30u);
+}
+
+TEST(LatencyHistogramTest, BucketBoundsMatchExposition) {
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperSeconds(0), 2e-6);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperSeconds(1), 4e-6);
+  EXPECT_TRUE(std::isinf(LatencyHistogram::BucketUpperSeconds(
+      LatencyHistogram::kNumBuckets - 1)));
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordLosesNothing) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record((t + 1) * 1e-4);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.TotalCount(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(LatencyHistogramTest, ToStringFormatsQuantiles) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 100; ++i) histogram.Record(1e-3);
+  const std::string s = histogram.ToString();
+  EXPECT_NE(s.find("n=100"), std::string::npos);
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p95="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sans

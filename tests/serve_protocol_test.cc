@@ -232,6 +232,46 @@ TEST(ResponseCodecTest, StatsResponseRoundTrips) {
   EXPECT_EQ(*decoded, stats);
 }
 
+TEST(RequestCodecTest, MetricsRequestIsBareOpcode) {
+  const std::vector<unsigned char> payload = EncodeMetricsRequest();
+  ASSERT_EQ(payload.size(), 1u);
+  EXPECT_EQ(payload[0], static_cast<uint8_t>(Opcode::kMetrics));
+}
+
+TEST(ResponseCodecTest, MetricsResponseRoundTrips) {
+  const std::string text =
+      "# TYPE sans_serve_requests_total counter\n"
+      "sans_serve_requests_total{type=\"topk\"} 7\n";
+  const std::vector<unsigned char> payload = EncodeMetricsResponse(text);
+  WireReader r(payload);
+  ASSERT_EQ(DecodeResponseCode(&r).value(), ResponseCode::kOk);
+  auto decoded = DecodeMetricsResponse(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, text);
+}
+
+TEST(ResponseCodecTest, MetricsResponseTruncatesAtLineBoundary) {
+  // An exposition too large for one frame is cut at the last complete
+  // line, never mid-sample.
+  std::string text;
+  const std::string line(199, 'x');
+  while (text.size() <= kMaxFramePayload) {
+    text += line;
+    text += '\n';
+  }
+  const std::vector<unsigned char> payload = EncodeMetricsResponse(text);
+  ASSERT_LE(payload.size(), kMaxFramePayload);
+  WireReader r(payload);
+  ASSERT_EQ(DecodeResponseCode(&r).value(), ResponseCode::kOk);
+  auto decoded = DecodeMetricsResponse(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_LT(decoded->size(), text.size());
+  EXPECT_FALSE(decoded->empty());
+  EXPECT_EQ(decoded->back(), '\n');
+  // Truncation removed whole lines only.
+  EXPECT_EQ(decoded->size() % 200, 0u);
+}
+
 TEST(ResponseCodecTest, ErrorResponseReconstructsStatus) {
   const Status original = Status::NotFound("column 99 does not exist");
   const std::vector<unsigned char> payload = EncodeErrorResponse(original);
@@ -291,6 +331,10 @@ TEST(ProtocolFuzzTest, RandomPayloadsNeverCrashTheDecoders) {
     {
       WireReader r(payload);
       (void)DecodeStatsResponse(&r);
+    }
+    {
+      WireReader r(payload);
+      (void)DecodeMetricsResponse(&r);
     }
   }
 }

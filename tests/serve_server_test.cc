@@ -344,5 +344,49 @@ TEST_F(ServerTest, LatencyQuantilesPopulateAfterTraffic) {
   EXPECT_GE(stats->p99_seconds, stats->p50_seconds);
 }
 
+TEST_F(ServerTest, MetricsExpositionOverTheWire) {
+  auto server = StartServer();
+  auto client = Connect(server->port());
+  ASSERT_TRUE(client->Ping().ok());
+  ASSERT_TRUE(client->TopK(0, 3).ok());
+
+  auto text = client->Metrics();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  // Per-request-type counters with the traffic we just generated.
+  EXPECT_NE(text->find("# TYPE sans_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text->find("sans_serve_requests_total{type=\"ping\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text->find("sans_serve_requests_total{type=\"topk\"} 1"),
+            std::string::npos);
+  // Latency histogram families and derived quantiles per type.
+  EXPECT_NE(text->find("# TYPE sans_serve_request_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text->find("sans_serve_request_seconds_bucket{type=\"topk\","),
+            std::string::npos);
+  EXPECT_NE(text->find("sans_serve_request_seconds_count{type=\"topk\"}"),
+            std::string::npos);
+  EXPECT_NE(text->find("sans_serve_request_seconds_p99{type=\"topk\"}"),
+            std::string::npos);
+  // Transport and connection gauges.
+  EXPECT_NE(text->find("sans_serve_bytes_read_total"), std::string::npos);
+  EXPECT_NE(text->find("sans_serve_active_connections 1"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, MetricsRegistriesAreIsolatedPerServer) {
+  auto server_a = StartServer();
+  auto server_b = StartServer();
+  auto client_a = Connect(server_a->port());
+  ASSERT_TRUE(client_a->Ping().ok());
+
+  auto client_b = Connect(server_b->port());
+  auto text_b = client_b->Metrics();
+  ASSERT_TRUE(text_b.ok());
+  // Server B saw no pings; A's traffic must not leak into its registry.
+  EXPECT_NE(text_b->find("sans_serve_requests_total{type=\"ping\"} 0"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace sans

@@ -1,7 +1,6 @@
 #include <gtest/gtest.h>
 
 #include <thread>
-#include <vector>
 
 #include "util/logging.h"
 #include "util/timer.h"
@@ -61,96 +60,6 @@ TEST(ScopedPhaseTest, RecordsScopeDuration) {
     std::this_thread::sleep_for(std::chrono::milliseconds(15));
   }
   EXPECT_GE(timer.Total("scope"), 0.010);
-}
-
-TEST(LatencyHistogramTest, EmptyHistogram) {
-  LatencyHistogram histogram;
-  EXPECT_EQ(histogram.TotalCount(), 0u);
-  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
-  EXPECT_EQ(histogram.ToString(), "n=0");
-}
-
-TEST(LatencyHistogramTest, QuantilesWithinBucketResolution) {
-  LatencyHistogram histogram;
-  // 90 fast requests at ~100µs, 10 slow at ~50ms.
-  for (int i = 0; i < 90; ++i) histogram.Record(100e-6);
-  for (int i = 0; i < 10; ++i) histogram.Record(50e-3);
-  EXPECT_EQ(histogram.TotalCount(), 100u);
-  // Log-spaced buckets guarantee a quantile within 2x of the truth.
-  EXPECT_GE(histogram.P50(), 50e-6);
-  EXPECT_LE(histogram.P50(), 200e-6);
-  EXPECT_GE(histogram.P99(), 25e-3);
-  EXPECT_LE(histogram.P99(), 100e-3);
-  // The p95 boundary falls on the slow tail's first observation.
-  EXPECT_GE(histogram.P95(), 25e-3);
-}
-
-TEST(LatencyHistogramTest, QuantileIsMonotoneInQ) {
-  LatencyHistogram histogram;
-  for (int i = 1; i <= 1000; ++i) histogram.Record(i * 1e-5);
-  double previous = 0.0;
-  for (double q = 0.0; q <= 1.0; q += 0.05) {
-    const double value = histogram.Quantile(q);
-    EXPECT_GE(value, previous);
-    previous = value;
-  }
-}
-
-TEST(LatencyHistogramTest, NegativeAndZeroLandInFirstBucket) {
-  LatencyHistogram histogram;
-  histogram.Record(-1.0);
-  histogram.Record(0.0);
-  histogram.Record(0.5e-6);
-  EXPECT_EQ(histogram.TotalCount(), 3u);
-  // Everything sits in bucket 0, so all quantiles stay under 2µs.
-  EXPECT_LE(histogram.Quantile(1.0), 2e-6);
-}
-
-TEST(LatencyHistogramTest, HugeDurationClampsToLastBucket) {
-  LatencyHistogram histogram;
-  histogram.Record(1e12);  // ~31,000 years
-  EXPECT_EQ(histogram.TotalCount(), 1u);
-  EXPECT_GT(histogram.Quantile(1.0), 0.0);
-}
-
-TEST(LatencyHistogramTest, MergeFromAddsCounts) {
-  LatencyHistogram a;
-  LatencyHistogram b;
-  for (int i = 0; i < 10; ++i) a.Record(1e-3);
-  for (int i = 0; i < 20; ++i) b.Record(8e-3);
-  a.MergeFrom(b);
-  EXPECT_EQ(a.TotalCount(), 30u);
-  EXPECT_GE(a.P95(), 4e-3);
-  b.Clear();
-  EXPECT_EQ(b.TotalCount(), 0u);
-  EXPECT_EQ(a.TotalCount(), 30u);
-}
-
-TEST(LatencyHistogramTest, ConcurrentRecordLosesNothing) {
-  LatencyHistogram histogram;
-  constexpr int kThreads = 4;
-  constexpr int kPerThread = 10'000;
-  std::vector<std::thread> threads;
-  for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&histogram, t] {
-      for (int i = 0; i < kPerThread; ++i) {
-        histogram.Record((t + 1) * 1e-4);
-      }
-    });
-  }
-  for (auto& thread : threads) thread.join();
-  EXPECT_EQ(histogram.TotalCount(),
-            static_cast<uint64_t>(kThreads) * kPerThread);
-}
-
-TEST(LatencyHistogramTest, ToStringFormatsQuantiles) {
-  LatencyHistogram histogram;
-  for (int i = 0; i < 100; ++i) histogram.Record(1e-3);
-  const std::string s = histogram.ToString();
-  EXPECT_NE(s.find("n=100"), std::string::npos);
-  EXPECT_NE(s.find("p50="), std::string::npos);
-  EXPECT_NE(s.find("p95="), std::string::npos);
-  EXPECT_NE(s.find("p99="), std::string::npos);
 }
 
 TEST(LoggingTest, LevelGateWorks) {

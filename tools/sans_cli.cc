@@ -51,6 +51,8 @@
 #include "mine/miner.h"
 #include "mine/mlsh_miner.h"
 #include "mine/pipeline_runner.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "serve/similarity_index.h"
@@ -149,10 +151,12 @@ int Usage() {
       "            [--threads N (default: all cores; 1 = sequential)]\n"
       "            [--block-rows N] [--checkpoint-dir DIR] [--resume]\n"
       "            [--max-retries N] [--max-skipped-rows N]\n"
+      "            [--run-report FILE (write a JSON run report)]\n"
       "  rules     --in FILE [--threshold C] [--k K] [--seed S]\n"
       "  exclusions --in FILE [--support F] [--max-lift F]\n"
       "  truth     --in FILE [--threshold S]\n"
-      "  stats     --in FILE\n"
+      "  stats     --in FILE | <host:port> (scrape a running server's\n"
+      "            metrics in Prometheus text format)\n"
       "  convert   --in FILE --out FILE (format by extension: .sans\n"
       "            binary, anything else text transactions)\n"
       "  sketch    --in FILE --out FILE [--k K] [--seed S]\n"
@@ -282,6 +286,7 @@ int RunPipelineMine(const Args& args, const std::string& algorithm) {
     return 2;
   }
   config.threshold = args.GetDouble("threshold", 0.5);
+  config.run_report_path = args.GetString("run-report", "");
   config.checkpoint_dir = args.Require("checkpoint-dir");
   config.resume = args.GetBool("resume", false);
   const int64_t max_retries = args.GetInt("max-retries", 2);
@@ -334,6 +339,8 @@ int RunPipelineMine(const Args& args, const std::string& algorithm) {
                  static_cast<unsigned long long>(summary->open_failures),
                  static_cast<unsigned long long>(summary->rows_skipped));
   }
+  std::fprintf(stderr, "%s",
+               RenderPhaseTable(summary->run_report).c_str());
   return PrintPairs(summary->report);
 }
 
@@ -355,6 +362,11 @@ int RunMine(const Args& args) {
   const std::string algorithm = args.GetString("algorithm", "mlsh");
   auto execution = ParseExecution(args);
   if (!execution.ok()) return Fail(execution.status());
+
+  // Counter deltas across the miner call feed the run report; the
+  // checkpointed path gets the same report from PipelineRunner.
+  const MetricsSnapshot metrics_before =
+      MetricsRegistry::Global().Snapshot();
 
   Result<MiningReport> report = Status::Unimplemented("");
   if (algorithm == "mh") {
@@ -425,6 +437,36 @@ int RunMine(const Args& args) {
     return 2;
   }
   if (!report.ok()) return Fail(report.status());
+
+  RunReport run_report;
+  run_report.algorithm = algorithm;
+  run_report.threshold = threshold;
+  run_report.table_rows = matrix->num_rows();
+  run_report.table_cols = matrix->num_cols();
+  run_report.threads = execution->num_threads;
+  for (const auto& [phase, seconds] : report->timers.totals()) {
+    run_report.phases.push_back(RunReport::Phase{phase, seconds});
+  }
+  run_report.metric_deltas = CounterDeltas(
+      metrics_before, MetricsRegistry::Global().Snapshot());
+  const auto delta = [&run_report](const char* name) -> uint64_t {
+    const auto it = run_report.metric_deltas.find(name);
+    return it == run_report.metric_deltas.end() ? 0 : it->second;
+  };
+  run_report.rows_scanned = delta("sans_scan_rows_total");
+  run_report.candidates_generated = delta("sans_candgen_candidates_total");
+  run_report.candidates_verified = delta("sans_verify_candidates_total");
+  run_report.true_positives = delta("sans_verify_true_positives_total");
+  run_report.false_positives = delta("sans_verify_false_positives_total");
+  run_report.pairs_emitted = report->pairs.size();
+  if (args.Has("run-report")) {
+    const std::string path = args.Require("run-report");
+    if (const Status s = WriteRunReport(run_report, path); !s.ok()) {
+      return Fail(s);
+    }
+    std::fprintf(stderr, "run report written to %s\n", path.c_str());
+  }
+  std::fprintf(stderr, "%s", RenderPhaseTable(run_report).c_str());
   return PrintPairs(*report);
 }
 
@@ -742,6 +784,32 @@ int RunQuery(const Args& args) {
   return 2;
 }
 
+/// `sans stats <host:port>`: scrape a running server's metrics over
+/// the wire and print the Prometheus text exposition verbatim.
+int RunRemoteStats(const std::string& target) {
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == target.size()) {
+    std::fprintf(stderr, "stats target must be host:port, got '%s'\n",
+                 target.c_str());
+    return 2;
+  }
+  ClientConfig config;
+  config.host = target.substr(0, colon);
+  const long port = std::atol(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "invalid port in '%s'\n", target.c_str());
+    return 2;
+  }
+  config.port = static_cast<uint16_t>(port);
+  auto client = Client::Connect(config);
+  if (!client.ok()) return Fail(client.status());
+  auto text = (*client)->Metrics();
+  if (!text.ok()) return Fail(text.status());
+  std::fputs(text->c_str(), stdout);
+  return 0;
+}
+
 int RunConvert(const Args& args) {
   auto matrix = LoadInput(args.Require("in"));
   if (!matrix.ok()) return Fail(matrix.status());
@@ -755,6 +823,12 @@ int RunConvert(const Args& args) {
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  // "stats host:port" takes a positional target the flag parser would
+  // reject; route it before Args construction.
+  if (command == "stats" && argc >= 3 &&
+      std::strncmp(argv[2], "--", 2) != 0) {
+    return RunRemoteStats(argv[2]);
+  }
   const Args args(argc, argv, 2);
   if (command == "generate") return RunGenerate(args);
   if (command == "mine") return RunMine(args);
