@@ -68,6 +68,13 @@ struct BenchPhaseResult {
   /// candidate-generation phase, which scans columns, not rows).
   double rows_per_sec = 0.0;
   double speedup_vs_1_thread = 1.0;
+  /// When false, the speedup field is emitted as JSON null — a bench
+  /// must refuse to report a speedup it could not measure (e.g. a
+  /// single-hardware-thread host cannot time real parallelism).
+  bool has_speedup = true;
+  /// JSON key for the speedup field; benches comparing against a
+  /// reference implementation rather than a thread count override it.
+  std::string speedup_key = "speedup_vs_1_thread";
 };
 
 inline std::string JsonNumber(double value) {
@@ -93,14 +100,15 @@ inline void WriteBenchJson(
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const BenchPhaseResult& r = results[i];
+    const std::string speedup =
+        r.has_speedup ? JsonNumber(r.speedup_vs_1_thread) : "null";
     std::fprintf(f,
                  "    {\"phase\": \"%s\", \"threads\": %d, "
                  "\"seconds\": %s, \"rows_per_sec\": %s, "
-                 "\"speedup_vs_1_thread\": %s}%s\n",
+                 "\"%s\": %s}%s\n",
                  r.phase.c_str(), r.threads, JsonNumber(r.seconds).c_str(),
-                 JsonNumber(r.rows_per_sec).c_str(),
-                 JsonNumber(r.speedup_vs_1_thread).c_str(),
-                 i + 1 < results.size() ? "," : "");
+                 JsonNumber(r.rows_per_sec).c_str(), r.speedup_key.c_str(),
+                 speedup.c_str(), i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   SANS_CHECK_EQ(std::fclose(f), 0);

@@ -101,6 +101,18 @@ int Main() {
   auto source = TableFileSource::Create(table_path.string());
   SANS_CHECK(source.ok());
 
+  // A 1-hardware-thread host runs every "parallel" configuration on
+  // the same core, so a speedup number would be fiction (it can only
+  // measure scheduling overhead). Refuse to report one: emit null.
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  const bool can_measure_speedup = hardware_threads > 1;
+  if (!can_measure_speedup) {
+    std::fprintf(stderr,
+                 "[bench] WARNING: hardware_threads=%u; speedup cannot be "
+                 "measured on a single-core host, emitting null\n",
+                 hardware_threads);
+  }
+
   const int kThreadCounts[] = {1, 2, 4, 8};
   std::vector<bench::BenchPhaseResult> results;
   PhaseTimes reference;
@@ -114,8 +126,10 @@ int Main() {
       r.threads = threads;
       r.seconds = seconds;
       r.rows_per_sec = seconds > 0 ? num_rows / seconds : 0.0;
+      r.has_speedup = can_measure_speedup;
       r.speedup_vs_1_thread =
-          seconds > 0 ? reference_seconds / seconds : 0.0;
+          can_measure_speedup && seconds > 0 ? reference_seconds / seconds
+                                             : 0.0;
       results.push_back(r);
     };
     emit("signatures", times.signatures, reference.signatures);
@@ -128,17 +142,21 @@ int Main() {
       "BENCH_parallel.json", "parallel",
       {{"rows", bench::JsonNumber(num_rows)},
        {"cols", bench::JsonNumber(num_cols)},
-       {"hardware_threads",
-        bench::JsonNumber(std::thread::hardware_concurrency())},
+       {"hardware_threads", bench::JsonNumber(hardware_threads)},
        {"scale", bench::SmallScale() ? "\"small\"" : "\"full\""}},
       results);
 
   std::printf("\n%-12s %8s %10s %14s %10s\n", "phase", "threads", "seconds",
               "rows/sec", "speedup");
   for (const bench::BenchPhaseResult& r : results) {
-    std::printf("%-12s %8d %10.3f %14.0f %9.2fx\n", r.phase.c_str(),
-                r.threads, r.seconds, r.rows_per_sec,
-                r.speedup_vs_1_thread);
+    if (r.has_speedup) {
+      std::printf("%-12s %8d %10.3f %14.0f %9.2fx\n", r.phase.c_str(),
+                  r.threads, r.seconds, r.rows_per_sec,
+                  r.speedup_vs_1_thread);
+    } else {
+      std::printf("%-12s %8d %10.3f %14.0f %10s\n", r.phase.c_str(),
+                  r.threads, r.seconds, r.rows_per_sec, "n/a");
+    }
   }
   std::printf("\nwrote BENCH_parallel.json\n");
 

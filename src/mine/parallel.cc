@@ -7,6 +7,7 @@
 #include "matrix/block_reader.h"
 #include "mine/miner.h"
 #include "obs/metrics.h"
+#include "sketch/sketch_kernels.h"
 #include "util/bounded_heap.h"
 
 namespace sans {
@@ -27,29 +28,19 @@ Result<SignatureMatrix> ComputeMinHashParallel(
   std::vector<SignatureMatrix> partials(
       workers, SignatureMatrix(config.num_hashes, m));
   // The bank is read-only after construction and shared across
-  // workers; only the row-hash scratch is per worker.
+  // workers; each worker owns a blocked kernel bound to its partial
+  // matrix (the kernel's hash scratch is the per-worker state).
   HashFunctionBank bank(config.family, config.num_hashes, config.seed);
-  std::vector<std::vector<uint64_t>> scratch(
-      workers, std::vector<uint64_t>(config.num_hashes));
+  std::vector<MinHashBlockKernel> kernels;
+  kernels.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    kernels.emplace_back(&bank, &partials[w]);
+  }
 
   SANS_RETURN_IF_ERROR(ForEachRowBlock(
       source, execution, pool,
       [&](int worker, const RowBlock& block) -> Status {
-        SignatureMatrix& partial = partials[worker];
-        std::vector<uint64_t>& row_hashes = scratch[worker];
-        for (size_t r = 0; r < block.size(); ++r) {
-          const std::span<const ColumnId> columns = block.columns(r);
-          if (columns.empty()) continue;
-          bank.HashAll(block.row(r), &row_hashes);
-          for (int l = 0; l < config.num_hashes; ++l) {
-            if (row_hashes[l] == kEmptyMinHash) row_hashes[l] -= 1;
-          }
-          for (ColumnId c : columns) {
-            for (int l = 0; l < config.num_hashes; ++l) {
-              partial.MinUpdate(l, c, row_hashes[l]);
-            }
-          }
-        }
+        kernels[worker].Process(block);
         return Status::OK();
       }));
 
@@ -92,19 +83,29 @@ Result<KMinHashSketch> ComputeKMinHashParallel(
     }
     partial.cardinalities.assign(m, 0);
   }
-  const std::unique_ptr<Hasher64> hasher =
-      MakeHasher(config.family, config.seed);
+  const RowHasher hasher(config.family, config.seed);
+  struct Scratch {
+    std::vector<uint64_t> keys;
+    std::vector<uint64_t> values;
+  };
+  std::vector<Scratch> scratch(workers);
 
   SANS_RETURN_IF_ERROR(ForEachRowBlock(
       source, execution, pool,
       [&](int worker, const RowBlock& block) -> Status {
         Partial& partial = partials[worker];
+        Scratch& s = scratch[worker];
+        // One flat clamped batch per block (sketch_kernels.h) keeps
+        // the empty-column sentinel unreachable, exactly as the
+        // sequential generator does.
+        s.keys.clear();
         for (size_t r = 0; r < block.size(); ++r) {
-          const std::span<const ColumnId> columns = block.columns(r);
-          if (columns.empty()) continue;
-          uint64_t value = hasher->Hash(block.row(r));
-          if (value == kEmptyMinHash) value -= 1;  // keep sentinel unreachable
-          for (ColumnId c : columns) {
+          s.keys.push_back(block.row(r));
+        }
+        HashBlockClamped(hasher, s.keys, &s.values);
+        for (size_t r = 0; r < block.size(); ++r) {
+          const uint64_t value = s.values[r];
+          for (ColumnId c : block.columns(r)) {
             partial.heaps[c].Offer(value);
             ++partial.cardinalities[c];
           }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "mine/parallel.h"
 #include "sketch/k_min_hash.h"
 #include "sketch/min_hash.h"
 #include "sketch/signature_matrix.h"
@@ -51,6 +52,7 @@ Status SimilarityIndexConfig::Validate() const {
   if (num_bands <= 0 || static_cast<uint32_t>(num_bands) > kMaxBands) {
     return Status::InvalidArgument("num_bands out of range");
   }
+  SANS_RETURN_IF_ERROR(execution.Validate());
   return Status::OK();
 }
 
@@ -83,15 +85,20 @@ IndexBuilder::IndexBuilder(const SimilarityIndexConfig& config)
 
 Status IndexBuilder::Build(const RowStreamSource& source,
                            const std::string& out_path) const {
+  // One pool shared by both build passes; a null pool (the default
+  // single-thread config) runs the sequential generators, and the
+  // parallel paths are bit-identical to them for any thread count, so
+  // the index bytes do not depend on config_.execution.
+  const std::unique_ptr<ThreadPool> pool = MaybeCreatePool(config_.execution);
+
   // Pass 1: r·l min-hash rows for the band keys.
   MinHashConfig mh;
   mh.num_hashes = config_.rows_per_band * config_.num_bands;
   mh.family = config_.family;
   mh.seed = config_.seed;
-  SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> band_rows, source.Open());
-  MinHashGenerator band_generator(mh);
-  SANS_ASSIGN_OR_RETURN(SignatureMatrix signatures,
-                        band_generator.Compute(band_rows.get()));
+  SANS_ASSIGN_OR_RETURN(
+      SignatureMatrix signatures,
+      ComputeMinHashParallel(source, mh, config_.execution, pool.get()));
 
   // Pass 2: bottom-k sketches for reranking. Decorrelated seed: the
   // sketch must not reuse the hash function of any band row.
@@ -99,11 +106,9 @@ Status IndexBuilder::Build(const RowStreamSource& source,
   kmh.k = config_.sketch_k;
   kmh.family = config_.family;
   kmh.seed = Mix64(config_.seed ^ 0x736b6574636869ULL);
-  SANS_ASSIGN_OR_RETURN(std::unique_ptr<RowStream> sketch_rows,
-                        source.Open());
-  KMinHashGenerator sketch_generator(kmh);
-  SANS_ASSIGN_OR_RETURN(KMinHashSketch sketch,
-                        sketch_generator.Compute(sketch_rows.get()));
+  SANS_ASSIGN_OR_RETURN(
+      KMinHashSketch sketch,
+      ComputeKMinHashParallel(source, kmh, config_.execution, pool.get()));
 
   const ColumnId m = source.num_cols();
   if (m > kMaxCols) {

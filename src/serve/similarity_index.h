@@ -36,6 +36,7 @@
 #include "matrix/row_stream.h"
 #include "util/hashing.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace sans {
 
@@ -56,6 +57,10 @@ struct SimilarityIndexConfig {
   /// Row-hash family for both the band signatures and the sketches.
   HashFamily family = HashFamily::kSplitMix64;
   uint64_t seed = 0;
+  /// Build-time parallelism. num_threads <= 1 runs the sequential
+  /// generators; more threads fan both build passes out on the block
+  /// pipeline (bit-identical output for any thread count).
+  ExecutionConfig execution;
 
   Status Validate() const;
 };
@@ -111,10 +116,12 @@ class SimilarityIndex {
   std::vector<uint64_t> cardinalities_;  // num_cols
 };
 
-/// Builds an index file from a table. Two sequential passes over the
-/// source (one for the r·l min-hash band signatures, one for the
-/// bottom-k sketches); the build is offline and the output immutable,
-/// so a rebuilt index goes live via Server::Reload, not in place.
+/// Builds an index file from a table. Two passes over the source (one
+/// for the r·l min-hash band signatures, one for the bottom-k
+/// sketches), each fanned out on the block pipeline when
+/// config.execution asks for threads; the build is offline and the
+/// output immutable, so a rebuilt index goes live via Server::Reload,
+/// not in place.
 class IndexBuilder {
  public:
   explicit IndexBuilder(const SimilarityIndexConfig& config);

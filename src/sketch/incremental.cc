@@ -3,12 +3,13 @@
 #include <algorithm>
 
 #include "sketch/signature_matrix.h"
+#include "sketch/sketch_kernels.h"
 
 namespace sans {
 
 IncrementalKMinHashBuilder::IncrementalKMinHashBuilder(
     const KMinHashConfig& config, ColumnId num_cols)
-    : config_(config), hasher_(MakeHasher(config.family, config.seed)) {
+    : config_(config), hasher_(config.family, config.seed) {
   SANS_CHECK(config.Validate().ok());
   heaps_.reserve(num_cols);
   for (ColumnId c = 0; c < num_cols; ++c) {
@@ -23,8 +24,9 @@ Status IncrementalKMinHashBuilder::AddRow(
     ++rows_ingested_;
     return Status::OK();
   }
-  uint64_t value = hasher_->Hash(row);
-  if (value == kEmptyMinHash) value -= 1;
+  // Shared clamp keeps the empty-column sentinel unreachable, exactly
+  // as on the batch scan paths.
+  const uint64_t value = HashRowClamped(hasher_, row);
   for (ColumnId c : columns) {
     if (c >= num_cols()) {
       return Status::OutOfRange("column id exceeds builder width");

@@ -61,7 +61,7 @@ class IncrementalKMinHashBuilder {
 
  private:
   KMinHashConfig config_;
-  std::unique_ptr<Hasher64> hasher_;
+  RowHasher hasher_;
   std::vector<BoundedMaxHeap<uint64_t>> heaps_;
   std::vector<uint64_t> cardinalities_;
   uint64_t rows_ingested_ = 0;

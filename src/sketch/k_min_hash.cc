@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "matrix/block_reader.h"
 #include "obs/metrics.h"
 #include "sketch/signature_matrix.h"
+#include "sketch/sketch_kernels.h"
 #include "util/bounded_heap.h"
 
 namespace sans {
@@ -53,21 +55,8 @@ uint64_t KMinHashSketch::TotalSignatureSize() const {
   return total;
 }
 
-std::unique_ptr<Hasher64> MakeHasher(HashFamily family, uint64_t seed) {
-  switch (family) {
-    case HashFamily::kSplitMix64:
-      return std::make_unique<SplitMix64Hasher>(seed);
-    case HashFamily::kMultiplyShift:
-      return std::make_unique<MultiplyShiftHasher>(seed);
-    case HashFamily::kTabulation:
-      return std::make_unique<TabulationHasher>(seed);
-  }
-  SANS_CHECK(false);
-  return nullptr;
-}
-
 KMinHashGenerator::KMinHashGenerator(const KMinHashConfig& config)
-    : config_(config), hasher_(MakeHasher(config.family, config.seed)) {
+    : config_(config), hasher_(config.family, config.seed) {
   SANS_CHECK(config.Validate().ok());
 }
 
@@ -88,17 +77,34 @@ Result<KMinHashSketch> KMinHashGenerator::Compute(RowStream* rows) const {
   static Counter* const rows_scanned =
       MetricsRegistry::Global().GetCounter("sans_scan_rows_total");
   uint64_t rows_seen = 0;
+  // Rows are buffered into blocks so the row-id hashes run as one flat
+  // clamped batch (sketch_kernels.h) instead of a call per row.
+  RowBlock block;
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> values;
+  const auto drain = [&](const RowBlock& b) {
+    keys.clear();
+    for (size_t i = 0; i < b.size(); ++i) keys.push_back(b.row(i));
+    HashBlockClamped(hasher_, keys, &values);
+    for (size_t i = 0; i < b.size(); ++i) {
+      const uint64_t value = values[i];
+      for (ColumnId c : b.columns(i)) {
+        heaps[c].Offer(value);
+        ++sketch.cardinalities_[c];
+      }
+    }
+  };
   RowView view;
   while (rows->Next(&view)) {
     ++rows_seen;
     if (view.columns.empty()) continue;  // nothing to update
-    uint64_t value = hasher_->Hash(view.row);
-    if (value == kEmptyMinHash) value -= 1;  // keep sentinel unreachable
-    for (ColumnId c : view.columns) {
-      heaps[c].Offer(value);
-      ++sketch.cardinalities_[c];
+    block.Append(view.row, view.columns);
+    if (block.size() >= kSketchBlockRows) {
+      drain(block);
+      block.Clear();
     }
   }
+  drain(block);
   rows_scanned->Increment(rows_seen);
   SANS_RETURN_IF_ERROR(rows->stream_status());
   for (ColumnId c = 0; c < m; ++c) {

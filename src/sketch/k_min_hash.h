@@ -74,8 +74,9 @@ class KMinHashSketch {
   std::vector<uint64_t> cardinalities_;
 };
 
-/// Single-pass generator: hashes each row once and offers the value to
-/// every column with a 1 in that row via a bounded max-heap.
+/// Single-pass generator: hashes each row once (batched per block of
+/// rows, no virtual dispatch) and offers the value to every column
+/// with a 1 in that row via a bounded max-heap.
 class KMinHashGenerator {
  public:
   explicit KMinHashGenerator(const KMinHashConfig& config);
@@ -86,11 +87,8 @@ class KMinHashGenerator {
 
  private:
   KMinHashConfig config_;
-  std::unique_ptr<Hasher64> hasher_;
+  RowHasher hasher_;
 };
-
-/// Instantiates one hash function from `family`, seeded with `seed`.
-std::unique_ptr<Hasher64> MakeHasher(HashFamily family, uint64_t seed);
 
 /// SIG_{i∪j}: the k smallest elements of SIG_i ∪ SIG_j (all of them if
 /// fewer than k) — the signature the union column would have had

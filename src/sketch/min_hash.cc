@@ -3,7 +3,9 @@
 #include <cmath>
 #include <vector>
 
+#include "matrix/block_reader.h"
 #include "obs/metrics.h"
+#include "sketch/sketch_kernels.h"
 
 namespace sans {
 
@@ -37,31 +39,31 @@ Result<SignatureMatrix> MinHashGenerator::Compute(
   if (cardinalities != nullptr) {
     cardinalities->assign(rows->num_cols(), 0);
   }
-  std::vector<uint64_t> row_hashes(config_.num_hashes);
   // This sequential scan bypasses the block pipeline, so it feeds the
   // shared rows-scanned counter itself (one add at scan end).
   static Counter* const rows_scanned =
       MetricsRegistry::Global().GetCounter("sans_scan_rows_total");
   uint64_t rows_seen = 0;
+  // Rows are copied into a RowBlock (the RowView span dies on the next
+  // Next() call) and handed to the blocked kernel, which batch-hashes
+  // the row ids under all k functions and applies the clamp and the
+  // transposed min-update (see sketch_kernels.h).
+  MinHashBlockKernel kernel(&bank_, &signatures);
+  RowBlock block;
   RowView view;
   while (rows->Next(&view)) {
     ++rows_seen;
-    // Empty rows touch no column; skip the k hash evaluations (matters
-    // for shingle matrices whose row space is mostly empty buckets).
     if (view.columns.empty()) continue;
-    bank_.HashAll(view.row, &row_hashes);
-    for (int l = 0; l < config_.num_hashes; ++l) {
-      // Clamp so a real row can never produce the empty-column
-      // sentinel.
-      if (row_hashes[l] == kEmptyMinHash) row_hashes[l] -= 1;
+    if (cardinalities != nullptr) {
+      for (ColumnId c : view.columns) ++(*cardinalities)[c];
     }
-    for (ColumnId c : view.columns) {
-      if (cardinalities != nullptr) ++(*cardinalities)[c];
-      for (int l = 0; l < config_.num_hashes; ++l) {
-        signatures.MinUpdate(l, c, row_hashes[l]);
-      }
+    block.Append(view.row, view.columns);
+    if (block.size() >= kSketchBlockRows) {
+      kernel.Process(block);
+      block.Clear();
     }
   }
+  kernel.Process(block);
   rows_scanned->Increment(rows_seen);
   // Signatures over a truncated scan are silently biased — fail the
   // pass instead of ending it "cleanly".

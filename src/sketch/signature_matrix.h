@@ -17,8 +17,8 @@
 namespace sans {
 
 /// Min-hash value of an empty column: no row ever hashes to the
-/// sentinel because hash outputs are mixed 64-bit values and we clamp
-/// them below the sentinel at generation time.
+/// sentinel because every generation path clamps hash outputs below
+/// it through the shared kernels (ClampRowHash in sketch_kernels.h).
 inline constexpr uint64_t kEmptyMinHash =
     std::numeric_limits<uint64_t>::max();
 
@@ -57,6 +57,16 @@ class SignatureMatrix {
 
   /// One hash function's values across all columns (contiguous).
   std::span<const uint64_t> HashRow(int hash_index) const {
+    return {values_.data() + static_cast<size_t>(hash_index) * num_cols_,
+            num_cols_};
+  }
+
+  /// Mutable view of one hash function's values — the blocked update
+  /// kernels' escape hatch from per-entry bounds checks: the row index
+  /// is checked once here, column offsets are the caller's contract.
+  std::span<uint64_t> MutableHashRow(int hash_index) {
+    SANS_CHECK_GE(hash_index, 0);
+    SANS_CHECK_LT(hash_index, num_hashes_);
     return {values_.data() + static_cast<size_t>(hash_index) * num_cols_,
             num_cols_};
   }

@@ -8,8 +8,8 @@
 //
 //  * SplitMix64Hasher   — a strong 64-bit finalizer-style mixer keyed
 //                         by a seed; the default everywhere.
-//  * MultiplyShiftHasher— the classical 2-universal multiply-shift
-//                         scheme; cheapest, weakest guarantees.
+//  * MultiplyShiftHasher— multiply-shift hashing finalized with Mix64;
+//                         cheapest, weakest guarantees.
 //  * TabulationHasher   — 8-way simple tabulation; 3-independent and
 //                         known to make min-hash behave like full
 //                         randomness on realistic data.
@@ -17,6 +17,13 @@
 // All hashers map a 64-bit key (row index) to a 64-bit value. Using
 // 64-bit outputs avoids the "birthday paradox" collisions the paper
 // warns about for tables with up to ~2^30 rows.
+//
+// Dispatch: the sketching hot paths never call through a virtual
+// interface. RowHasher is a value type that switches on the family
+// once per batch; HashFunctionBank stores RowHashers by value and
+// evaluates whole blocks of keys per function in flat loops
+// (HashAllBatch), so the per-key work is branch-free and
+// auto-vectorizable.
 
 #ifndef SANS_UTIL_HASHING_H_
 #define SANS_UTIL_HASHING_H_
@@ -24,6 +31,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 namespace sans {
@@ -45,40 +53,34 @@ inline uint64_t HashKey(uint64_t key, uint64_t seed) {
   return Mix64(key + 0x9e3779b97f4a7c15ULL * (seed + 1));
 }
 
-/// A keyed hash function family over 64-bit keys. One instance = one
-/// function drawn from the family; min-hash schemes instantiate k of
-/// them with distinct seeds.
-class Hasher64 {
- public:
-  virtual ~Hasher64() = default;
-  /// Hash of `key` under this function.
-  virtual uint64_t Hash(uint64_t key) const = 0;
-};
-
 /// Default hasher: double splitmix64 mix keyed by seed. Statistically
 /// indistinguishable from a random function for our purposes and
 /// collision-free per seed (bijective).
-class SplitMix64Hasher final : public Hasher64 {
+class SplitMix64Hasher final {
  public:
   explicit SplitMix64Hasher(uint64_t seed) : seed_(seed) {}
-  uint64_t Hash(uint64_t key) const override { return HashKey(key, seed_); }
+  uint64_t Hash(uint64_t key) const { return HashKey(key, seed_); }
 
  private:
   uint64_t seed_;
 };
 
-/// 2-universal multiply-shift hashing: h(x) = (a*x + b) with odd `a`,
-/// taking the full 64-bit product. Fastest option; adequate for
-/// bucketing but measurably weaker for min-hash estimates (see
-/// bench/micro_hashing).
-class MultiplyShiftHasher final : public Hasher64 {
+/// Multiply-shift hashing h(x) = Mix64(a*x + b) with odd `a`. The raw
+/// product a*x + b is 2-universal only in its high bits: the low bits
+/// of a multiply are far from uniform (e.g. a*x + b is constant mod
+/// 2^t over keys that are multiples of 2^t), and min-hash and bucket
+/// consumers compare full 64-bit values. The Mix64 finalizer spreads
+/// the product's entropy across all output bits while keeping the map
+/// bijective (composition of bijections).
+class MultiplyShiftHasher final {
  public:
   explicit MultiplyShiftHasher(uint64_t seed);
-  uint64_t Hash(uint64_t key) const override {
-    return multiplier_ * key + addend_;
+  uint64_t Hash(uint64_t key) const {
+    return Mix64(multiplier_ * key + addend_);
   }
 
  private:
+  friend class RowHasher;
   uint64_t multiplier_;  // always odd, so the map is bijective
   uint64_t addend_;
 };
@@ -86,10 +88,10 @@ class MultiplyShiftHasher final : public Hasher64 {
 /// Simple tabulation hashing over the 8 bytes of the key: XOR of 8
 /// seeded lookup tables of 256 entries each. 3-independent; strong
 /// theoretical guarantees for min-wise hashing.
-class TabulationHasher final : public Hasher64 {
+class TabulationHasher final {
  public:
   explicit TabulationHasher(uint64_t seed);
-  uint64_t Hash(uint64_t key) const override {
+  uint64_t Hash(uint64_t key) const {
     uint64_t h = 0;
     for (int byte = 0; byte < 8; ++byte) {
       h ^= tables_[byte][(key >> (8 * byte)) & 0xff];
@@ -98,6 +100,7 @@ class TabulationHasher final : public Hasher64 {
   }
 
  private:
+  friend class RowHasher;
   std::array<std::array<uint64_t, 256>, 8> tables_;
 };
 
@@ -110,10 +113,58 @@ enum class HashFamily {
 
 const char* HashFamilyToString(HashFamily family);
 
+/// One hash function drawn from a family, held by value: no heap
+/// boxing, no virtual dispatch. Hash() switches on the family (the
+/// compiler inlines each arm); HashBatch() hoists the switch out of
+/// the loop and evaluates a whole block of keys with constant
+/// per-function parameters, which is the form the blocked sketching
+/// kernels consume.
+class RowHasher {
+ public:
+  RowHasher(HashFamily family, uint64_t seed);
+
+  HashFamily family() const { return family_; }
+
+  /// Hash of `key` under this function.
+  uint64_t Hash(uint64_t key) const {
+    switch (family_) {
+      case HashFamily::kSplitMix64:
+        return HashKey(key, seed_);
+      case HashFamily::kMultiplyShift:
+        return Mix64(multiplier_ * key + addend_);
+      case HashFamily::kTabulation:
+        return TabulationHash(key);
+    }
+    return 0;  // unreachable
+  }
+
+  /// out[i] = Hash(keys[i]) for every i. One family switch per call;
+  /// each arm is a flat loop over the keys.
+  void HashBatch(std::span<const uint64_t> keys, uint64_t* out) const;
+
+ private:
+  uint64_t TabulationHash(uint64_t key) const {
+    uint64_t h = 0;
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (*tables_)[byte][(key >> (8 * byte)) & 0xff];
+    }
+    return h;
+  }
+
+  HashFamily family_;
+  uint64_t seed_ = 0;        // kSplitMix64
+  uint64_t multiplier_ = 1;  // kMultiplyShift (odd => bijective)
+  uint64_t addend_ = 0;      // kMultiplyShift
+  // kTabulation: 16 KiB of tables, shared so RowHashers stay cheap to
+  // copy (a bank holds k of them by value).
+  std::shared_ptr<const std::array<std::array<uint64_t, 256>, 8>> tables_;
+};
+
 /// A bank of k independent hash functions from one family, seeded
 /// deterministically from a master seed. This is the object the
-/// min-hash signature computation consumes: HashAll(row) yields the
-/// row's hash under each of the k implicit permutations.
+/// min-hash signature computation consumes: HashAllBatch(rows, out)
+/// yields every row's hash under each of the k implicit permutations,
+/// with no per-row indirection.
 class HashFunctionBank {
  public:
   /// Creates `count` functions from `family`, derived from `seed`.
@@ -129,15 +180,23 @@ class HashFunctionBank {
 
   /// Hash of `key` under function `index` (0 <= index < count()).
   uint64_t Hash(int index, uint64_t key) const {
-    return functions_[index]->Hash(key);
+    return functions_[index].Hash(key);
   }
 
   /// Hashes `key` under every function into `out` (resized to count()).
   void HashAll(uint64_t key, std::vector<uint64_t>* out) const;
 
+  /// Batched evaluation: hashes every key under every function into
+  /// `out`, resized to count() * keys.size() and laid out hash-major —
+  /// (*out)[f * keys.size() + i] = h_f(keys[i]) — so one function's
+  /// values over the block are contiguous. Each function runs as one
+  /// flat pass over the keys (see RowHasher::HashBatch).
+  void HashAllBatch(std::span<const uint64_t> keys,
+                    std::vector<uint64_t>* out) const;
+
  private:
   HashFamily family_;
-  std::vector<std::unique_ptr<Hasher64>> functions_;
+  std::vector<RowHasher> functions_;
 };
 
 /// Combines two hash values into one (for hashing composite keys such

@@ -45,7 +45,7 @@ auto WithPool(int threads, Fn&& fn) {
 
 // The thread counts the invariance property is asserted over; 1 is
 // the sequential reference path.
-const int kThreadCounts[] = {1, 2, 3, 8};
+const int kThreadCounts[] = {1, 2, 3, 4, 8};
 
 class ParallelMinHashTest : public ::testing::TestWithParam<int> {};
 

@@ -63,6 +63,36 @@ TEST(EstimateSimilarityBiasedTest, ClampsToValidRange) {
   EXPECT_GE(s, 0.0);
 }
 
+TEST(EstimateSimilarityBiasedTest, EqualCardinalitiesNeitherSideFavored) {
+  // card_a == card_b: the larger/smaller split is degenerate and must
+  // not bias the estimate. |C_a| = |C_b| = 200, k = 50, t = 25:
+  // |C_ij| = 25 * 200 / 50 = 100, similarity = 100 / 300 = 1/3.
+  const double s = EstimateSimilarityBiased(25, 200, 200, 50);
+  EXPECT_DOUBLE_EQ(s, 100.0 / 300.0);
+  // Symmetric by construction.
+  EXPECT_DOUBLE_EQ(EstimateSimilarityBiased(25, 200, 200, 50),
+                   EstimateSimilarityBiased(25, 200, 200, 50));
+}
+
+TEST(EstimateSimilarityBiasedTest, IntersectionAboveKEffIsCapped) {
+  // t > k_eff is impossible in expectation but reachable through
+  // noise; the implied |C_ij| must cap at the smaller cardinality so
+  // the similarity stays in range. k_eff = min(20, 100) = 20, t = 40
+  // implies |C_ij| = 200 > |C_b| = 50 -> capped at 50.
+  const double s = EstimateSimilarityBiased(40, 100, 50, 20);
+  EXPECT_DOUBLE_EQ(s, 50.0 / (100.0 + 50.0 - 50.0));
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(EstimateSimilarityBiasedTest, KLargerThanBothCardinalities) {
+  // k > |C_a| and k > |C_b|: k_eff collapses to the larger
+  // cardinality and the estimator is exact. |C_a| = 3, |C_b| = 5,
+  // t = 3 (one column contained in the other): similarity = 3/5.
+  EXPECT_DOUBLE_EQ(EstimateSimilarityBiased(3, 3, 5, 1000), 0.6);
+  // Disjoint small columns: zero intersection, zero similarity.
+  EXPECT_DOUBLE_EQ(EstimateSimilarityBiased(0, 3, 5, 1000), 0.0);
+}
+
 TEST(EstimateSimilarityBiasedTest, TracksTruthOnRandomData) {
   SyntheticConfig config;
   config.num_rows = 4000;

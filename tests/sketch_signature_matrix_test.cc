@@ -75,6 +75,36 @@ TEST(SignatureMatrixTest, EmptyColumnsNeverSimilar) {
   EXPECT_DOUBLE_EQ(m.FractionLessOrEqual(1, 2), 0.0);
 }
 
+TEST(SignatureMatrixTest, FractionLessOrEqualEmptyColumnEdges) {
+  SignatureMatrix m(3, 3);
+  for (int l = 0; l < 3; ++l) m.SetValue(l, 0, 10 + l);
+  // One empty side — either side — yields 0, not a sentinel artifact
+  // (the sentinel is the max value, so a naive comparison would give
+  // 1.0 for (0, empty)).
+  EXPECT_DOUBLE_EQ(m.FractionLessOrEqual(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.FractionLessOrEqual(1, 0), 0.0);
+  // Both empty is still 0.
+  EXPECT_DOUBLE_EQ(m.FractionLessOrEqual(1, 2), 0.0);
+}
+
+TEST(SignatureMatrixTest, FractionLessOrEqualSelfIsOne) {
+  SignatureMatrix m(4, 1);
+  for (int l = 0; l < 4; ++l) m.SetValue(l, 0, 100 - l);
+  // Every value is <= itself.
+  EXPECT_DOUBLE_EQ(m.FractionLessOrEqual(0, 0), 1.0);
+}
+
+TEST(SignatureMatrixTest, FractionLessOrEqualIdenticalColumns) {
+  SignatureMatrix m(4, 2);
+  for (int l = 0; l < 4; ++l) {
+    m.SetValue(l, 0, 7 * l + 1);
+    m.SetValue(l, 1, 7 * l + 1);
+  }
+  // Identical columns dominate each other in both directions.
+  EXPECT_DOUBLE_EQ(m.FractionLessOrEqual(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.FractionLessOrEqual(1, 0), 1.0);
+}
+
 TEST(SignatureMatrixTest, FractionLessOrEqualEstimatesDirection) {
   SignatureMatrix m(4, 2);
   // Column 0's values are <= column 1's in 3 of 4 rows.

@@ -45,6 +45,19 @@ TEST(MultiplyShiftHasherTest, NoCollisionsPerSeed) {
   }
 }
 
+TEST(MultiplyShiftHasherTest, LowBitsAreUniform) {
+  // Regression for the unfinalized a*x + b form: over keys that are
+  // multiples of 256, a*x + b is constant mod 256, so the low byte
+  // took exactly ONE value. The Mix64 finalizer must spread the
+  // product's entropy into the low bits.
+  MultiplyShiftHasher hasher(77);
+  std::set<uint64_t> low_bytes;
+  for (uint64_t i = 0; i < 4096; ++i) {
+    low_bytes.insert(hasher.Hash(i * 256) & 0xff);
+  }
+  EXPECT_GT(low_bytes.size(), 200u);  // ~256 expected, 1 before the fix
+}
+
 TEST(TabulationHasherTest, DeterministicPerSeed) {
   TabulationHasher a(5);
   TabulationHasher b(5);
@@ -107,7 +120,66 @@ TEST_P(HashFunctionBankTest, HashAllMatchesIndividualHashes) {
   }
 }
 
+TEST_P(HashFunctionBankTest, HashAllBatchMatchesHashAll) {
+  HashFunctionBank bank(GetParam(), 6, 19);
+  std::vector<uint64_t> keys;
+  for (uint64_t x = 0; x < 300; ++x) keys.push_back(x * 17 + 3);
+  std::vector<uint64_t> batched;
+  bank.HashAllBatch(keys, &batched);
+  ASSERT_EQ(batched.size(), 6 * keys.size());
+  // Hash-major layout: function f's values over the block are
+  // contiguous at [f * n, (f + 1) * n).
+  for (int f = 0; f < 6; ++f) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(batched[f * keys.size() + i], bank.Hash(f, keys[i]));
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllFamilies, HashFunctionBankTest,
+                         ::testing::Values(HashFamily::kSplitMix64,
+                                           HashFamily::kMultiplyShift,
+                                           HashFamily::kTabulation));
+
+class RowHasherTest : public ::testing::TestWithParam<HashFamily> {};
+
+TEST_P(RowHasherTest, MatchesConcreteHashers) {
+  // A RowHasher and the boxed-style concrete class with the same seed
+  // must be the same function — artifacts generated before the
+  // devirtualization depend on it.
+  const RowHasher hasher(GetParam(), 4321);
+  const SplitMix64Hasher splitmix(4321);
+  const MultiplyShiftHasher multiply_shift(4321);
+  const TabulationHasher tabulation(4321);
+  for (uint64_t x = 0; x < 500; ++x) {
+    uint64_t expected = 0;
+    switch (GetParam()) {
+      case HashFamily::kSplitMix64:
+        expected = splitmix.Hash(x);
+        break;
+      case HashFamily::kMultiplyShift:
+        expected = multiply_shift.Hash(x);
+        break;
+      case HashFamily::kTabulation:
+        expected = tabulation.Hash(x);
+        break;
+    }
+    ASSERT_EQ(hasher.Hash(x), expected) << "x=" << x;
+  }
+}
+
+TEST_P(RowHasherTest, HashBatchMatchesHash) {
+  const RowHasher hasher(GetParam(), 123);
+  std::vector<uint64_t> keys;
+  for (uint64_t x = 0; x < 777; ++x) keys.push_back(Mix64(x));
+  std::vector<uint64_t> out(keys.size());
+  hasher.HashBatch(keys, out.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(out[i], hasher.Hash(keys[i])) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, RowHasherTest,
                          ::testing::Values(HashFamily::kSplitMix64,
                                            HashFamily::kMultiplyShift,
                                            HashFamily::kTabulation));

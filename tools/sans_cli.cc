@@ -165,7 +165,7 @@ int Usage() {
       "            [--min-cohesion F]\n"
       "  disjunctions --in FILE [--threshold S] [--k K]\n"
       "  index     --in FILE --out FILE [--k K] [--r R] [--l L]\n"
-      "            [--seed S]\n"
+      "            [--seed S] [--threads N] [--block-rows N]\n"
       "  serve     --index FILE [--host H] [--port P (0 = ephemeral)]\n"
       "            [--threads N] [--allow-reload]\n"
       "  query     --port P [--host H] plus one of:\n"
@@ -655,6 +655,9 @@ int RunIndex(const Args& args) {
       static_cast<int>(args.GetInt("r", config.rows_per_band));
   config.num_bands = static_cast<int>(args.GetInt("l", config.num_bands));
   config.seed = static_cast<uint64_t>(args.GetInt("seed", 0));
+  auto execution = ParseExecution(args);
+  if (!execution.ok()) return Fail(execution.status());
+  config.execution = *execution;
   const IndexBuilder builder(config);
   const std::string in = args.Require("in");
   const std::string out = args.Require("out");
